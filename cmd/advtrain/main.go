@@ -1,0 +1,111 @@
+// Command advtrain trains an RL adversary against a protocol and writes the
+// trained policy (and optionally a dataset of adversarial traces) to disk.
+//
+// Usage:
+//
+//	advtrain -domain abr -target bb|mpc|rate -o adversary.json [-traces-out traces.json -n 50]
+//	advtrain -domain cc  -target bbr|cubic|reno -o adversary.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"advnet/internal/abr"
+	"advnet/internal/cc"
+	"advnet/internal/core"
+	"advnet/internal/mathx"
+	"advnet/internal/netem"
+)
+
+func main() {
+	log.SetFlags(0)
+	domain := flag.String("domain", "abr", "abr or cc")
+	target := flag.String("target", "bb", "abr: bb|mpc|rate; cc: bbr|cubic|reno")
+	out := flag.String("o", "adversary.json", "output path for the trained adversary")
+	tracesOut := flag.String("traces-out", "", "also generate adversarial traces to this path (abr only)")
+	n := flag.Int("n", 50, "number of traces to generate with -traces-out")
+	iters := flag.Int("iters", 0, "PPO iterations (0 = domain default)")
+	seed := flag.Uint64("seed", 1, "training seed")
+	flag.Parse()
+
+	rng := mathx.NewRNG(*seed)
+	switch *domain {
+	case "abr":
+		video := abr.NewVideo(mathx.NewRNG(1), abr.DefaultVideoConfig())
+		var proto abr.Protocol
+		switch *target {
+		case "bb":
+			proto = abr.NewBB()
+		case "mpc":
+			proto = abr.NewMPC()
+		case "rate":
+			proto = abr.NewRateBased()
+		case "bola":
+			proto = abr.NewBOLA()
+		default:
+			log.Fatalf("unknown abr target %q", *target)
+		}
+		opt := core.DefaultABRTrainOptions()
+		if *iters > 0 {
+			opt.Iterations = *iters
+		}
+		log.Printf("training ABR adversary against %s for %d iterations...", proto.Name(), opt.Iterations)
+		adv, stats, err := core.TrainABRAdversary(video, proto, core.DefaultABRAdversaryConfig(), opt, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("episode reward: %.1f -> %.1f", stats[0].MeanEpReward, stats[len(stats)-1].MeanEpReward)
+		if err := adv.Save(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("adversary written to %s", *out)
+		if *tracesOut != "" {
+			d := adv.GenerateTraces(video, proto, rng.Split(), *n, "adv-"+proto.Name())
+			if err := d.SaveJSON(*tracesOut); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("%d traces written to %s", *n, *tracesOut)
+		}
+
+	case "cc":
+		var newCC func() netem.CongestionController
+		switch *target {
+		case "bbr":
+			newCC = func() netem.CongestionController { return cc.NewBBR() }
+		case "cubic":
+			newCC = func() netem.CongestionController { return cc.NewCubic() }
+		case "reno":
+			newCC = func() netem.CongestionController { return cc.NewReno() }
+		case "copa":
+			newCC = func() netem.CongestionController { return cc.NewCopa() }
+		case "vivace":
+			newCC = func() netem.CongestionController { return cc.NewVivace() }
+		case "htcp":
+			newCC = func() netem.CongestionController { return cc.NewHTCP() }
+		default:
+			log.Fatalf("unknown cc target %q", *target)
+		}
+		opt := core.DefaultCCTrainOptions()
+		if *iters > 0 {
+			opt.Iterations = *iters
+		}
+		log.Printf("training CC adversary against %s for %d iterations...", *target, opt.Iterations)
+		adv, stats, err := core.TrainCCAdversary(newCC, core.DefaultCCAdversaryConfig(), opt, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("step reward: %.3f -> %.3f", stats[0].MeanStepRew, stats[len(stats)-1].MeanStepRew)
+		if err := adv.Save(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("adversary written to %s", *out)
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown domain %q\n", *domain)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

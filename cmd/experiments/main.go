@@ -1,0 +1,122 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-full] [-seed N] [table1|fig1|fig2|fig3|fig4|fig5|fig6|ablations|routing|all]
+//
+// By default it runs with the reduced Fast budgets (a few minutes for
+// everything); -full uses budgets comparable to the paper's (600k adversary
+// steps, 200 evaluation traces) and takes correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"advnet/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "use paper-scale budgets")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	cfg := experiments.Fast()
+	if *full {
+		cfg = experiments.Full()
+	}
+	cfg.Seed = *seed
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		if which != "all" && which != name {
+			return
+		}
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Second))
+	}
+
+	switch which {
+	case "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablations", "routing", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run("table1", func() (fmt.Stringer, error) {
+		return experiments.Table1(cfg), nil
+	})
+
+	// Figures 1 and 2 share the trained protocols and adversaries.
+	if which == "all" || which == "fig1" || which == "fig2" {
+		start := time.Now()
+		res, err := experiments.Figure1And2(cfg)
+		if err != nil {
+			log.Fatalf("fig1/fig2: %v", err)
+		}
+		fmt.Println(res)
+		fmt.Printf("[fig1+fig2 completed in %v]\n\n", time.Since(start).Round(time.Second))
+	}
+
+	run("fig3", func() (fmt.Stringer, error) {
+		return experiments.Figure3(cfg), nil
+	})
+	run("fig4", func() (fmt.Stringer, error) {
+		return experiments.Figure4(cfg)
+	})
+
+	// Figures 5 and 6 share the trained CC adversary.
+	if which == "all" || which == "fig5" || which == "fig6" {
+		start := time.Now()
+		res, err := experiments.Figure5And6(cfg)
+		if err != nil {
+			log.Fatalf("fig5/fig6: %v", err)
+		}
+		fmt.Println(res)
+		fmt.Printf("[fig5+fig6 completed in %v]\n\n", time.Since(start).Round(time.Second))
+	}
+
+	if which == "all" || which == "ablations" {
+		start := time.Now()
+		sm, err := experiments.AblationSmoothing(cfg)
+		if err != nil {
+			log.Fatalf("ablations: %v", err)
+		}
+		fmt.Println(sm)
+		ob, err := experiments.AblationOptBaseline(cfg)
+		if err != nil {
+			log.Fatalf("ablations: %v", err)
+		}
+		fmt.Println(ob)
+		fmt.Println(experiments.AblationReplayFidelity(cfg))
+		ot, err := experiments.AblationOnlineVsTraceBased(cfg)
+		if err != nil {
+			log.Fatalf("ablations: %v", err)
+		}
+		fmt.Println(ot)
+		ns, err := experiments.AblationNetSize(cfg)
+		if err != nil {
+			log.Fatalf("ablations: %v", err)
+		}
+		fmt.Println(ns)
+		fmt.Printf("[ablations completed in %v]\n\n", time.Since(start).Round(time.Second))
+	}
+
+	run("routing", func() (fmt.Stringer, error) {
+		return experiments.ExtensionRouting(cfg)
+	})
+}

@@ -1,0 +1,3 @@
+module advnet
+
+go 1.22

@@ -1,0 +1,70 @@
+package abr
+
+// BB is the buffer-based ABR algorithm of Huang et al. [13] as the paper
+// describes it (§3.2): below the reservoir it requests the lowest level,
+// above reservoir+cushion the highest, and in between it maps buffer
+// occupancy linearly onto the ladder. The paper's adversary discovers that
+// BB "changes its rate when the buffer size is in the range of 10-15
+// seconds" — the reservoir..reservoir+cushion band — and pins the buffer
+// there to force oscillation.
+type BB struct {
+	ReservoirS float64 // lower threshold, default 10
+	CushionS   float64 // width of the linear region, default 5
+}
+
+// NewBB returns a buffer-based protocol with the paper's 10–15 s band.
+func NewBB() *BB { return &BB{ReservoirS: 10, CushionS: 5} }
+
+// Name implements Protocol.
+func (b *BB) Name() string { return "bb" }
+
+// Reset implements Protocol (BB is stateless).
+func (b *BB) Reset() {}
+
+// SelectLevel implements Protocol.
+func (b *BB) SelectLevel(o *Observation) int {
+	buf := o.BufferS
+	switch {
+	case buf <= b.ReservoirS:
+		return 0
+	case buf >= b.ReservoirS+b.CushionS:
+		return o.Levels - 1
+	default:
+		frac := (buf - b.ReservoirS) / b.CushionS
+		return clampLevel(int(frac*float64(o.Levels-1)+0.5), o.Levels)
+	}
+}
+
+// RateBased is the classic throughput-rule ABR: it predicts bandwidth as the
+// harmonic mean of the last few chunk throughputs and picks the highest
+// bitrate below a safety fraction of the prediction. It serves as an extra
+// baseline in tests and ablations.
+type RateBased struct {
+	HistoryLen int     // throughput samples to average, default 5
+	Safety     float64 // fraction of predicted rate to use, default 0.9
+}
+
+// NewRateBased returns a rate-based protocol with standard settings.
+func NewRateBased() *RateBased { return &RateBased{HistoryLen: 5, Safety: 0.9} }
+
+// Name implements Protocol.
+func (r *RateBased) Name() string { return "rate" }
+
+// Reset implements Protocol (rate-based keeps no cross-session state).
+func (r *RateBased) Reset() {}
+
+// SelectLevel implements Protocol.
+func (r *RateBased) SelectLevel(o *Observation) int {
+	pred := HarmonicMean(o.ThroughputHist, r.HistoryLen)
+	if pred <= 0 {
+		return 0
+	}
+	budget := pred * r.Safety * 1000 // kbps
+	level := 0
+	for l, kbps := range o.BitratesKbps {
+		if kbps <= budget {
+			level = l
+		}
+	}
+	return level
+}

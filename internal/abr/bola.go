@@ -1,0 +1,55 @@
+package abr
+
+import "math"
+
+// BOLA is the Lyapunov-optimization ABR algorithm of Spiteri, Urgaonkar &
+// Sitaraman (BOLA-BASIC), an additional buffer-based baseline beyond BB. At
+// each chunk it picks the level maximizing
+//
+//	(V·(υ_m + γp) − Q) / S_m
+//
+// where υ_m = ln(S_m / S_min) is the utility of level m, S_m its chunk size,
+// Q the buffer occupancy in chunks, and V, γp control the buffer operating
+// point. BOLA provably approaches optimal time-average utility without any
+// bandwidth prediction, but — like BB — it is driven purely by the buffer,
+// which the framework's buffer-pinning adversaries can exploit.
+type BOLA struct {
+	// BufferTargetS sets the buffer level (seconds) the parameters are
+	// derived for; default 25.
+	BufferTargetS float64
+	// GammaP is the γp rebuffering-aversion control, default 5.
+	GammaP float64
+}
+
+// NewBOLA returns a BOLA-BASIC instance.
+func NewBOLA() *BOLA { return &BOLA{BufferTargetS: 25, GammaP: 5} }
+
+// Name implements Protocol.
+func (b *BOLA) Name() string { return "bola" }
+
+// Reset implements Protocol (BOLA is stateless between chunks).
+func (b *BOLA) Reset() {}
+
+// SelectLevel implements Protocol.
+func (b *BOLA) SelectLevel(o *Observation) int {
+	sMin := o.NextSizesBits[0]
+	top := len(o.NextSizesBits) - 1
+	// Derive V so that the buffer target maps to the top level being
+	// chosen when the buffer is full: V·(υ_top + γp) = Q_max.
+	qMax := b.BufferTargetS / o.ChunkSeconds
+	vTop := math.Log(o.NextSizesBits[top] / sMin)
+	v := qMax / (vTop + b.GammaP)
+
+	q := o.BufferS / o.ChunkSeconds
+	best := 0
+	bestScore := math.Inf(-1)
+	for m, size := range o.NextSizesBits {
+		util := math.Log(size / sMin)
+		score := (v*(util+b.GammaP) - q) / (size / sMin)
+		if score > bestScore {
+			bestScore = score
+			best = m
+		}
+	}
+	return best
+}

@@ -1,0 +1,55 @@
+package abr_test
+
+import (
+	"fmt"
+
+	"advnet/internal/abr"
+	"advnet/internal/mathx"
+	"advnet/internal/trace"
+)
+
+// ExampleRunSession streams a whole video with the buffer-based protocol
+// over a steady 3 Mbps link and reports the per-chunk QoE.
+func ExampleRunSession() {
+	cfg := abr.DefaultVideoConfig()
+	cfg.VBRJitter = 0 // constant-bitrate chunks for a deterministic doc test
+	video := abr.NewVideo(mathx.NewRNG(1), cfg)
+
+	tr := trace.Constant("steady", 1000, 3.0, 40, 0)
+	link := &abr.TraceLink{Trace: tr, RTTSeconds: 0.08}
+	session := abr.RunSession(video, link, abr.DefaultSessionConfig(), abr.NewBB())
+
+	fmt.Printf("chunks: %d\n", len(session.Results()))
+	fmt.Printf("mean QoE: %.2f\n", session.MeanQoE())
+	// Output:
+	// chunks: 48
+	// mean QoE: 1.81
+}
+
+// ExampleQoEConfig_Chunk evaluates the linear QoE of one chunk: 2 Mbps video
+// with a 0.5 s stall after a 3 Mbps chunk.
+func ExampleQoEConfig_Chunk() {
+	q := abr.DefaultQoE()
+	fmt.Printf("%.2f\n", q.Chunk(2.0, 3.0, 0.5, false))
+	// Output:
+	// -1.15
+}
+
+// ExampleWindowOptimal computes the adversary's r_opt oracle: the best QoE
+// attainable over a 3-chunk window with known bandwidths.
+func ExampleWindowOptimal() {
+	cfg := abr.DefaultVideoConfig()
+	cfg.VBRJitter = 0
+	video := abr.NewVideo(mathx.NewRNG(1), cfg)
+
+	opt := abr.WindowOptimal(video, abr.DefaultQoE(),
+		0,                        // starting chunk
+		[]float64{2.0, 1.0, 3.0}, // known per-chunk bandwidth, Mbps
+		0.08,                     // RTT
+		0, 60,                    // starting buffer, buffer cap
+		-1, // no previous chunk
+	)
+	fmt.Printf("optimal window QoE: %.2f\n", opt)
+	// Output:
+	// optimal window QoE: -1.57
+}

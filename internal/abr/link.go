@@ -1,0 +1,129 @@
+package abr
+
+import (
+	"advnet/internal/trace"
+)
+
+// Link models the network path chunks are downloaded over.
+type Link interface {
+	// Download returns the wall-clock seconds needed to transfer sizeBits
+	// starting at the given session time.
+	Download(sizeBits, start float64) float64
+	// BandwidthAt returns the link capacity in Mbps at the given time,
+	// used by oracles that are allowed to know the network.
+	BandwidthAt(t float64) float64
+}
+
+// ConstantLink is a link whose bandwidth is set externally between downloads;
+// it is how the online adversary injects its per-chunk bandwidth choice.
+type ConstantLink struct {
+	BandwidthMbps float64
+	RTTSeconds    float64
+}
+
+// Download implements Link: size/bandwidth plus one round trip.
+func (l *ConstantLink) Download(sizeBits, _ float64) float64 {
+	return sizeBits/(l.BandwidthMbps*1e6) + l.RTTSeconds
+}
+
+// BandwidthAt implements Link.
+func (l *ConstantLink) BandwidthAt(_ float64) float64 { return l.BandwidthMbps }
+
+// TraceLink replays a bandwidth trace: the transfer progresses through the
+// trace's intervals at their respective rates (the Pensieve simulator's
+// download model), plus one round trip of latency per chunk.
+type TraceLink struct {
+	Trace      *trace.Trace
+	RTTSeconds float64
+}
+
+// Download implements Link by integrating the trace's bandwidth from start
+// until sizeBits have been delivered.
+func (l *TraceLink) Download(sizeBits, start float64) float64 {
+	remaining := sizeBits
+	t := start
+	total := l.Trace.TotalDuration()
+	for remaining > 0 {
+		p := l.Trace.At(t)
+		// Time left in the current interval.
+		intoTrace := mod(t, total)
+		var left float64
+		acc := 0.0
+		for _, q := range l.Trace.Points {
+			if intoTrace < acc+q.Duration {
+				left = acc + q.Duration - intoTrace
+				break
+			}
+			acc += q.Duration
+		}
+		if left <= 0 {
+			left = p.Duration
+		}
+		rate := p.BandwidthMbps * 1e6 // bits per second
+		if rate <= 0 {
+			// Zero-bandwidth interval: wait it out.
+			t += left
+			continue
+		}
+		canSend := rate * left
+		if canSend >= remaining {
+			t += remaining / rate
+			remaining = 0
+		} else {
+			remaining -= canSend
+			t += left
+		}
+	}
+	return (t - start) + l.RTTSeconds
+}
+
+// BandwidthAt implements Link.
+func (l *TraceLink) BandwidthAt(t float64) float64 {
+	return l.Trace.At(t).BandwidthMbps
+}
+
+func mod(x, m float64) float64 {
+	r := x - float64(int(x/m))*m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// ChunkLink replays a per-chunk bandwidth sequence: the i-th Download call
+// (i.e. the i-th chunk) is served at Bandwidths[i] regardless of wall-clock
+// timing. This is the exact replay semantic of the online adversary, whose
+// actions are indexed by chunk, not by time (§2.1: adversaries make
+// observations "every video chunk"); replaying a chunk-indexed trace against
+// the protocol it targeted reproduces the online run bit-for-bit.
+type ChunkLink struct {
+	Bandwidths []float64 // Mbps per chunk; reused cyclically if short
+	RTTSeconds float64
+
+	calls int
+}
+
+// NewChunkLink builds a chunk-indexed link from a trace's bandwidth series.
+func NewChunkLink(tr *trace.Trace, rttS float64) *ChunkLink {
+	return &ChunkLink{Bandwidths: tr.Bandwidths(), RTTSeconds: rttS}
+}
+
+// Download implements Link, consuming one bandwidth entry per call.
+func (l *ChunkLink) Download(sizeBits, _ float64) float64 {
+	bw := l.current()
+	l.calls++
+	return sizeBits/(bw*1e6) + l.RTTSeconds
+}
+
+// BandwidthAt implements Link, returning the current chunk's bandwidth.
+func (l *ChunkLink) BandwidthAt(_ float64) float64 { return l.current() }
+
+func (l *ChunkLink) current() float64 {
+	if len(l.Bandwidths) == 0 {
+		panic("abr: empty ChunkLink")
+	}
+	return l.Bandwidths[l.calls%len(l.Bandwidths)]
+}
+
+// Reset rewinds the link to the first chunk.
+func (l *ChunkLink) Reset() { l.calls = 0 }

@@ -1,0 +1,134 @@
+package abr
+
+import "math"
+
+// MPC is the model-predictive-control ABR algorithm of Yin et al. [30]
+// ("robust MPC" variant), re-implemented as in the paper's §3.1. At each
+// chunk it predicts bandwidth as the harmonic mean of the last HistoryLen
+// chunk throughputs, discounted by the maximum recent prediction error, then
+// exhaustively searches all level sequences over the lookahead horizon for
+// the one maximizing total linear QoE under the predicted bandwidth, and
+// plays the first level of the best sequence.
+type MPC struct {
+	Horizon    int // lookahead chunks, default 5
+	HistoryLen int // throughput samples for the harmonic mean, default 5
+	QoE        QoEConfig
+
+	// prediction-error tracking for the "robust" discount
+	pastErrors []float64
+	lastPred   float64
+}
+
+// NewMPC returns a robust MPC with the standard horizon-5 configuration.
+func NewMPC() *MPC {
+	return &MPC{Horizon: 5, HistoryLen: 5, QoE: DefaultQoE()}
+}
+
+// Name implements Protocol.
+func (m *MPC) Name() string { return "mpc" }
+
+// Reset implements Protocol.
+func (m *MPC) Reset() {
+	m.pastErrors = m.pastErrors[:0]
+	m.lastPred = 0
+}
+
+// SelectLevel implements Protocol.
+func (m *MPC) SelectLevel(o *Observation) int {
+	// Update the robustness discount with the realized error of the
+	// previous prediction.
+	if m.lastPred > 0 && o.LastThroughput > 0 {
+		err := math.Abs(m.lastPred-o.LastThroughput) / o.LastThroughput
+		m.pastErrors = append(m.pastErrors, err)
+		if len(m.pastErrors) > m.HistoryLen {
+			m.pastErrors = m.pastErrors[1:]
+		}
+	}
+	pred := HarmonicMean(o.ThroughputHist, m.HistoryLen)
+	if pred <= 0 {
+		m.lastPred = 0
+		return 0
+	}
+	maxErr := 0.0
+	for _, e := range m.pastErrors {
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	robust := pred / (1 + maxErr)
+	m.lastPred = robust
+
+	horizon := m.Horizon
+	if rem := o.TotalChunks - o.ChunkIndex; rem < horizon {
+		horizon = rem
+	}
+	best, _ := m.search(o, robust, horizon)
+	return best
+}
+
+// search exhaustively evaluates all level sequences of the given length and
+// returns the first level of the best one along with its predicted QoE.
+func (m *MPC) search(o *Observation, predMbps float64, horizon int) (int, float64) {
+	levels := o.Levels
+	bestFirst := 0
+	bestQoE := math.Inf(-1)
+
+	prevMbps := 0.0
+	first := o.LastLevel < 0
+	if !first {
+		prevMbps = o.BitratesKbps[o.LastLevel] / 1000
+	}
+
+	// Iterative odometer over level sequences; sizes beyond the next chunk
+	// are approximated by nominal bitrate (the protocol cannot know the
+	// exact VBR sizes of future chunks).
+	seq := make([]int, horizon)
+	for {
+		q := m.evalSequence(o, seq, predMbps, prevMbps, first)
+		if q > bestQoE {
+			bestQoE = q
+			bestFirst = seq[0]
+		}
+		// increment odometer
+		i := horizon - 1
+		for ; i >= 0; i-- {
+			seq[i]++
+			if seq[i] < levels {
+				break
+			}
+			seq[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return bestFirst, bestQoE
+}
+
+func (m *MPC) evalSequence(o *Observation, seq []int, predMbps, prevMbps float64, first bool) float64 {
+	buffer := o.BufferS
+	total := 0.0
+	prev := prevMbps
+	for j, level := range seq {
+		var sizeBits float64
+		if j == 0 {
+			sizeBits = o.NextSizesBits[level]
+		} else {
+			sizeBits = o.BitratesKbps[level] * 1000 * o.ChunkSeconds
+		}
+		dl := sizeBits / (predMbps * 1e6)
+		rebuf := dl - buffer
+		if rebuf < 0 {
+			rebuf = 0
+		}
+		buffer -= dl
+		if buffer < 0 {
+			buffer = 0
+		}
+		buffer += o.ChunkSeconds
+		mbps := o.BitratesKbps[level] / 1000
+		total += m.QoE.Chunk(mbps, prev, rebuf, first && j == 0)
+		prev = mbps
+	}
+	return total
+}

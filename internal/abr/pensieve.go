@@ -1,0 +1,198 @@
+package abr
+
+import (
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+	"advnet/internal/trace"
+)
+
+// FeatureHistory is the number of past chunks whose throughput and download
+// time appear in the Pensieve state (Pensieve uses 8).
+const FeatureHistory = 8
+
+// FeatureSize returns the Pensieve input dimension for a given ladder size.
+func FeatureSize(levels int) int {
+	return 1 + 1 + FeatureHistory + FeatureHistory + levels + 1
+}
+
+// Features encodes the protocol-visible session state into the normalized
+// feature vector the Pensieve-style agent consumes:
+//
+//	[ last bitrate/max, buffer/10s,
+//	  throughput history (Mbps/5, oldest→newest, zero-padded),
+//	  download-time history (s/10, zero-padded),
+//	  next chunk sizes (Mbit/5),
+//	  chunks remaining / total ]
+func Features(o *Observation) []float64 {
+	levels := o.Levels
+	out := make([]float64, 0, FeatureSize(levels))
+	maxMbps := o.BitratesKbps[levels-1] / 1000
+
+	lastMbps := 0.0
+	if o.LastLevel >= 0 {
+		lastMbps = o.BitratesKbps[o.LastLevel] / 1000
+	}
+	out = append(out, lastMbps/maxMbps)
+	out = append(out, o.BufferS/10)
+
+	th := o.ThroughputHist
+	dl := o.DownloadHist
+	if len(th) > FeatureHistory {
+		th = th[len(th)-FeatureHistory:]
+		dl = dl[len(dl)-FeatureHistory:]
+	}
+	for i := 0; i < FeatureHistory-len(th); i++ {
+		out = append(out, 0)
+	}
+	for _, v := range th {
+		out = append(out, v/5)
+	}
+	for i := 0; i < FeatureHistory-len(dl); i++ {
+		out = append(out, 0)
+	}
+	for _, v := range dl {
+		out = append(out, v/10)
+	}
+	for _, s := range o.NextSizesBits {
+		out = append(out, s/1e6/5) // megabits, scaled
+	}
+	out = append(out, float64(o.TotalChunks-o.ChunkIndex)/float64(o.TotalChunks))
+	return out
+}
+
+// Pensieve is the RL-based ABR protocol of Mao et al. [17], reproduced as a
+// categorical PPO policy over the bitrate ladder with Pensieve's state
+// features. The agent acts deterministically (distribution mode) when used
+// as a Protocol.
+type Pensieve struct {
+	Policy *rl.CategoricalPolicy
+	label  string
+}
+
+// NewPensieveNet builds a fresh policy network for a ladder with the given
+// number of levels.
+func NewPensieveNet(rng *mathx.RNG, levels int) *nn.MLP {
+	return nn.NewMLP(rng, []int{FeatureSize(levels), 64, 32, levels}, nn.Tanh)
+}
+
+// NewPensieveValueNet builds the matching value network.
+func NewPensieveValueNet(rng *mathx.RNG, levels int) *nn.MLP {
+	return nn.NewMLP(rng, []int{FeatureSize(levels), 64, 32, 1}, nn.Tanh)
+}
+
+// NewPensieve wraps a trained policy as an ABR protocol.
+func NewPensieve(policy *rl.CategoricalPolicy) *Pensieve {
+	return &Pensieve{Policy: policy, label: "pensieve"}
+}
+
+// Name implements Protocol.
+func (p *Pensieve) Name() string { return p.label }
+
+// SetName overrides the reported protocol name (useful when comparing
+// several Pensieve variants, as in Figure 4).
+func (p *Pensieve) SetName(s string) { p.label = s }
+
+// Reset implements Protocol (the policy is stateless between chunks).
+func (p *Pensieve) Reset() {}
+
+// SelectLevel implements Protocol.
+func (p *Pensieve) SelectLevel(o *Observation) int {
+	a := p.Policy.Mode(Features(o))
+	return clampLevel(int(a[0]), o.Levels)
+}
+
+// TrainEnv adapts ABR streaming over a trace dataset into an rl.Env for
+// training Pensieve: each episode streams one full video over one trace
+// sampled from the dataset, the action is the level of the next chunk, and
+// the reward is that chunk's linear QoE.
+type TrainEnv struct {
+	Video      *Video
+	Dataset    *trace.Dataset
+	Cfg        SessionConfig
+	RTTSeconds float64
+
+	rng     *mathx.RNG
+	session *Session
+}
+
+// NewTrainEnv builds a training environment that samples traces uniformly
+// from dataset.
+func NewTrainEnv(video *Video, dataset *trace.Dataset, cfg SessionConfig, rttS float64, rng *mathx.RNG) *TrainEnv {
+	if len(dataset.Traces) == 0 {
+		panic("abr: TrainEnv with empty dataset")
+	}
+	return &TrainEnv{Video: video, Dataset: dataset, Cfg: cfg, RTTSeconds: rttS, rng: rng}
+}
+
+// Reset implements rl.Env.
+func (e *TrainEnv) Reset() []float64 {
+	tr := e.Dataset.Traces[e.rng.Intn(len(e.Dataset.Traces))]
+	link := &TraceLink{Trace: tr, RTTSeconds: e.RTTSeconds}
+	e.session = NewSession(e.Video, link, e.Cfg)
+	return Features(e.session.Observation())
+}
+
+// Step implements rl.Env.
+func (e *TrainEnv) Step(action []float64) ([]float64, float64, bool) {
+	level := clampLevel(int(action[0]), e.Video.Levels())
+	res := e.session.Step(level)
+	done := e.session.Done()
+	var obs []float64
+	if !done {
+		obs = Features(e.session.Observation())
+	} else {
+		obs = make([]float64, FeatureSize(e.Video.Levels()))
+	}
+	return obs, res.QoE, done
+}
+
+// ObservationSize implements rl.Env.
+func (e *TrainEnv) ObservationSize() int { return FeatureSize(e.Video.Levels()) }
+
+// ActionSpec implements rl.Env.
+func (e *TrainEnv) ActionSpec() rl.ActionSpec {
+	return rl.ActionSpec{Discrete: true, N: e.Video.Levels()}
+}
+
+// TrainPensieve trains a fresh Pensieve agent on the dataset for the given
+// number of PPO iterations and returns the protocol together with the
+// trainer (so training can be resumed, e.g. to inject adversarial traces as
+// in §2.3 of the paper).
+func TrainPensieve(video *Video, dataset *trace.Dataset, iterations int, rng *mathx.RNG) (*Pensieve, *rl.PPO, error) {
+	levels := video.Levels()
+	policy := rl.NewCategoricalPolicy(NewPensieveNet(rng, levels))
+	value := NewPensieveValueNet(rng, levels)
+	cfg := rl.DefaultPPOConfig()
+	cfg.RolloutSteps = 1024
+	cfg.LR = 1e-3
+	ppo, err := rl.NewPPO(policy, value, cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := NewTrainEnv(video, dataset, DefaultSessionConfig(), 0.08, rng.Split())
+	ppo.Train(env, iterations)
+	return NewPensieve(policy), ppo, nil
+}
+
+// TrainPensieveA2C trains a Pensieve agent with synchronous advantage
+// actor-critic — the single-worker equivalent of the A3C algorithm the
+// original Pensieve [17] used — instead of PPO. Useful as a training-regime
+// ablation; the adversarial framework treats the resulting protocol
+// identically.
+func TrainPensieveA2C(video *Video, dataset *trace.Dataset, iterations int, rng *mathx.RNG) (*Pensieve, *rl.A2C, error) {
+	levels := video.Levels()
+	policy := rl.NewCategoricalPolicy(NewPensieveNet(rng, levels))
+	value := NewPensieveValueNet(rng, levels)
+	cfg := rl.DefaultA2CConfig()
+	cfg.RolloutSteps = 1024
+	a2c, err := rl.NewA2C(policy, value, cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := NewTrainEnv(video, dataset, DefaultSessionConfig(), 0.08, rng.Split())
+	a2c.Train(env, iterations)
+	agent := NewPensieve(policy)
+	agent.SetName("pensieve-a2c")
+	return agent, a2c, nil
+}

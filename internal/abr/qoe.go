@@ -1,0 +1,33 @@
+package abr
+
+// QoEConfig holds the coefficients of the linear QoE metric from MPC [30],
+// the metric the paper uses:
+//
+//	QoE_lin = Σ R_i − 4.3·Σ T_i − Σ |R_{i+1} − R_i|
+//
+// with R_i the chunk bitrate in Mbps and T_i the rebuffering time in seconds
+// caused by chunk i.
+type QoEConfig struct {
+	RebufferPenalty float64 // per second of stall, default 4.3
+	SmoothPenalty   float64 // per Mbps of bitrate change, default 1
+}
+
+// DefaultQoE returns the paper's linear-QoE coefficients.
+func DefaultQoE() QoEConfig {
+	return QoEConfig{RebufferPenalty: 4.3, SmoothPenalty: 1}
+}
+
+// Chunk returns the QoE contribution of one chunk: bitrateMbps minus the
+// rebuffering and (for all chunks after the first) smoothness penalties.
+// prevMbps is the bitrate of the previous chunk.
+func (c QoEConfig) Chunk(bitrateMbps, prevMbps, rebufferS float64, first bool) float64 {
+	q := bitrateMbps - c.RebufferPenalty*rebufferS
+	if !first {
+		d := bitrateMbps - prevMbps
+		if d < 0 {
+			d = -d
+		}
+		q -= c.SmoothPenalty * d
+	}
+	return q
+}

@@ -1,0 +1,252 @@
+package abr
+
+import (
+	"fmt"
+
+	"advnet/internal/mathx"
+)
+
+// SessionConfig parameterizes a streaming session.
+type SessionConfig struct {
+	QoE        QoEConfig
+	BufferCapS float64 // client buffer capacity in seconds; 0 means 60
+}
+
+// DefaultSessionConfig returns the Pensieve-style defaults (60 s buffer cap,
+// linear QoE).
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{QoE: DefaultQoE(), BufferCapS: 60}
+}
+
+// StepResult records everything that happened while fetching one chunk.
+type StepResult struct {
+	ChunkIndex     int
+	Level          int
+	BitrateMbps    float64
+	SizeBits       float64
+	DownloadS      float64 // wall-clock transfer time including RTT
+	ThroughputMbps float64 // SizeBits / DownloadS
+	RebufferS      float64 // stall caused by this chunk
+	BufferS        float64 // buffer occupancy after the chunk arrived
+	WaitS          float64 // idle time spent draining a full buffer
+	QoE            float64 // this chunk's QoE contribution
+	BandwidthMbps  float64 // link capacity when the download started
+}
+
+// Session simulates one client streaming one video over one link, chunk by
+// chunk. It is the substrate every ABR protocol and every adversary in this
+// repository runs against.
+type Session struct {
+	video *Video
+	link  Link
+	cfg   SessionConfig
+
+	chunk     int
+	lastLevel int
+	bufferS   float64
+	timeS     float64
+	totalQoE  float64
+	results   []StepResult
+
+	throughputHist []float64
+	downloadHist   []float64
+}
+
+// NewSession starts a session at time 0 with an empty buffer.
+func NewSession(video *Video, link Link, cfg SessionConfig) *Session {
+	if cfg.BufferCapS <= 0 {
+		cfg.BufferCapS = 60
+	}
+	return &Session{
+		video:     video,
+		link:      link,
+		cfg:       cfg,
+		lastLevel: -1,
+	}
+}
+
+// Done reports whether the whole video has been downloaded.
+func (s *Session) Done() bool { return s.chunk >= s.video.NumChunks() }
+
+// Video returns the video being streamed.
+func (s *Session) Video() *Video { return s.video }
+
+// Time returns the current session time in seconds.
+func (s *Session) Time() float64 { return s.timeS }
+
+// Buffer returns the current buffer occupancy in seconds.
+func (s *Session) Buffer() float64 { return s.bufferS }
+
+// NextChunk returns the index of the next chunk to download.
+func (s *Session) NextChunk() int { return s.chunk }
+
+// LastLevel returns the level of the most recent chunk, or -1 before the
+// first download.
+func (s *Session) LastLevel() int { return s.lastLevel }
+
+// TotalQoE returns the accumulated QoE over all downloaded chunks.
+func (s *Session) TotalQoE() float64 { return s.totalQoE }
+
+// MeanQoE returns the per-chunk mean QoE so far (0 before any download).
+// This is the per-video "QoE" quantity Figures 1, 2 and 4 of the paper plot.
+func (s *Session) MeanQoE() float64 {
+	if len(s.results) == 0 {
+		return 0
+	}
+	return s.totalQoE / float64(len(s.results))
+}
+
+// Results returns the per-chunk records so far (aliased; do not mutate).
+func (s *Session) Results() []StepResult { return s.results }
+
+// Step downloads the next chunk at the given quality level and returns the
+// record of what happened. It panics if the session is done or the level is
+// out of range.
+func (s *Session) Step(level int) StepResult {
+	if s.Done() {
+		panic("abr: Step on finished session")
+	}
+	if level < 0 || level >= s.video.Levels() {
+		panic(fmt.Sprintf("abr: level %d out of range [0,%d)", level, s.video.Levels()))
+	}
+	size := s.video.Size(level, s.chunk)
+	bw := s.link.BandwidthAt(s.timeS)
+	dl := s.link.Download(size, s.timeS)
+
+	rebuf := dl - s.bufferS
+	if rebuf < 0 {
+		rebuf = 0
+	}
+	s.bufferS -= dl
+	if s.bufferS < 0 {
+		s.bufferS = 0
+	}
+	s.bufferS += s.video.ChunkSeconds
+	s.timeS += dl
+
+	// If the buffer exceeds capacity the client idles until it drains.
+	var wait float64
+	if s.bufferS > s.cfg.BufferCapS {
+		wait = s.bufferS - s.cfg.BufferCapS
+		s.bufferS = s.cfg.BufferCapS
+		s.timeS += wait
+	}
+
+	prevMbps := 0.0
+	first := s.lastLevel < 0
+	if !first {
+		prevMbps = s.video.BitrateMbps(s.lastLevel)
+	}
+	q := s.cfg.QoE.Chunk(s.video.BitrateMbps(level), prevMbps, rebuf, first)
+
+	res := StepResult{
+		ChunkIndex:     s.chunk,
+		Level:          level,
+		BitrateMbps:    s.video.BitrateMbps(level),
+		SizeBits:       size,
+		DownloadS:      dl,
+		ThroughputMbps: size / dl / 1e6,
+		RebufferS:      rebuf,
+		BufferS:        s.bufferS,
+		WaitS:          wait,
+		QoE:            q,
+		BandwidthMbps:  bw,
+	}
+	s.results = append(s.results, res)
+	s.totalQoE += q
+	s.lastLevel = level
+	s.chunk++
+	s.throughputHist = append(s.throughputHist, res.ThroughputMbps)
+	s.downloadHist = append(s.downloadHist, res.DownloadS)
+	return res
+}
+
+// Observation is the protocol-visible state of the session, sufficient for
+// every ABR algorithm in this repository (and mirroring what the paper's
+// adversary observes about its target).
+type Observation struct {
+	ChunkIndex     int // next chunk to download
+	TotalChunks    int
+	Levels         int
+	BitratesKbps   []float64
+	ChunkSeconds   float64
+	LastLevel      int // -1 before the first chunk
+	BufferS        float64
+	LastThroughput float64   // Mbps, 0 before the first chunk
+	LastDownloadS  float64   // seconds, 0 before the first chunk
+	NextSizesBits  []float64 // per-level size of the next chunk
+	ThroughputHist []float64 // all past chunk throughputs, oldest first
+	DownloadHist   []float64 // all past download times, oldest first
+}
+
+// Observation builds the current protocol-visible state. It returns nil when
+// the session is done.
+func (s *Session) Observation() *Observation {
+	if s.Done() {
+		return nil
+	}
+	o := &Observation{
+		ChunkIndex:     s.chunk,
+		TotalChunks:    s.video.NumChunks(),
+		Levels:         s.video.Levels(),
+		BitratesKbps:   s.video.BitratesKbps,
+		ChunkSeconds:   s.video.ChunkSeconds,
+		LastLevel:      s.lastLevel,
+		BufferS:        s.bufferS,
+		NextSizesBits:  s.video.ChunkSizes(s.chunk),
+		ThroughputHist: s.throughputHist,
+		DownloadHist:   s.downloadHist,
+	}
+	if n := len(s.throughputHist); n > 0 {
+		o.LastThroughput = s.throughputHist[n-1]
+		o.LastDownloadS = s.downloadHist[n-1]
+	}
+	return o
+}
+
+// Protocol is an ABR algorithm: given the observable session state it picks
+// the quality level for the next chunk.
+type Protocol interface {
+	Name() string
+	// Reset clears per-session state before a new video.
+	Reset()
+	// SelectLevel returns the level to fetch next.
+	SelectLevel(o *Observation) int
+}
+
+// RunSession plays an entire video with the given protocol and returns the
+// finished session.
+func RunSession(video *Video, link Link, cfg SessionConfig, p Protocol) *Session {
+	p.Reset()
+	s := NewSession(video, link, cfg)
+	for !s.Done() {
+		s.Step(p.SelectLevel(s.Observation()))
+	}
+	return s
+}
+
+// HarmonicMean returns the harmonic mean of the last k entries of xs (all of
+// xs if it has fewer), the throughput predictor MPC and rate-based use.
+// It returns 0 for an empty history.
+func HarmonicMean(xs []float64, k int) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n > k {
+		xs = xs[n-k:]
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// clampLevel bounds a level index to the valid range.
+func clampLevel(l, levels int) int {
+	return int(mathx.Clamp(float64(l), 0, float64(levels-1)))
+}

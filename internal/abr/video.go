@@ -1,0 +1,131 @@
+// Package abr implements the adaptive-video-streaming substrate of the
+// paper's first case study (§3): a chunk-level simulator in the style of
+// Pensieve's, the linear QoE metric of MPC, and the ABR protocols the paper
+// evaluates — buffer-based (BB), robust MPC, a Pensieve-style RL agent, a
+// throughput-rate heuristic, and the offline optimal used as the adversary's
+// r_opt oracle.
+package abr
+
+import (
+	"fmt"
+
+	"advnet/internal/mathx"
+)
+
+// DefaultBitratesKbps is the Pensieve bitrate ladder used throughout the
+// paper's video experiments.
+var DefaultBitratesKbps = []float64{300, 750, 1200, 1850, 2850, 4300}
+
+// Video describes the content being streamed: a fixed ladder of encodings
+// and the size of every chunk at every quality level.
+type Video struct {
+	ChunkSeconds float64     // playback duration of each chunk
+	BitratesKbps []float64   // ascending encoding ladder
+	SizesBits    [][]float64 // [level][chunk] encoded chunk size in bits
+}
+
+// NumChunks returns the number of chunks in the video.
+func (v *Video) NumChunks() int {
+	if len(v.SizesBits) == 0 {
+		return 0
+	}
+	return len(v.SizesBits[0])
+}
+
+// Levels returns the number of quality levels.
+func (v *Video) Levels() int { return len(v.BitratesKbps) }
+
+// BitrateMbps returns the nominal bitrate of a level in Mbps.
+func (v *Video) BitrateMbps(level int) float64 { return v.BitratesKbps[level] / 1000 }
+
+// Size returns the size in bits of the given chunk at the given level.
+func (v *Video) Size(level, chunk int) float64 { return v.SizesBits[level][chunk] }
+
+// ChunkSizes returns the per-level sizes of one chunk (a fresh slice).
+func (v *Video) ChunkSizes(chunk int) []float64 {
+	out := make([]float64, v.Levels())
+	for l := range out {
+		out[l] = v.SizesBits[l][chunk]
+	}
+	return out
+}
+
+// Validate checks the internal consistency of the video description.
+func (v *Video) Validate() error {
+	if v.ChunkSeconds <= 0 {
+		return fmt.Errorf("abr: chunk duration %v", v.ChunkSeconds)
+	}
+	if len(v.BitratesKbps) == 0 {
+		return fmt.Errorf("abr: empty bitrate ladder")
+	}
+	for i := 1; i < len(v.BitratesKbps); i++ {
+		if v.BitratesKbps[i] <= v.BitratesKbps[i-1] {
+			return fmt.Errorf("abr: ladder not ascending at %d", i)
+		}
+	}
+	if len(v.SizesBits) != len(v.BitratesKbps) {
+		return fmt.Errorf("abr: %d size rows for %d levels", len(v.SizesBits), len(v.BitratesKbps))
+	}
+	n := v.NumChunks()
+	if n == 0 {
+		return fmt.Errorf("abr: video has no chunks")
+	}
+	for l, row := range v.SizesBits {
+		if len(row) != n {
+			return fmt.Errorf("abr: level %d has %d chunks, want %d", l, len(row), n)
+		}
+		for c, s := range row {
+			if s <= 0 {
+				return fmt.Errorf("abr: level %d chunk %d size %v", l, c, s)
+			}
+		}
+	}
+	return nil
+}
+
+// VideoConfig parameterizes NewVideo.
+type VideoConfig struct {
+	NumChunks    int
+	ChunkSeconds float64
+	BitratesKbps []float64
+	// VBRJitter is the relative standard deviation of per-chunk size
+	// variation around the nominal bitrate (0 gives constant-bitrate
+	// chunks). Variation is clamped to ±2 sigma.
+	VBRJitter float64
+}
+
+// DefaultVideoConfig returns the 48-chunk, 4-second, six-level video used in
+// the experiments (matching Pensieve's test video dimensions).
+func DefaultVideoConfig() VideoConfig {
+	return VideoConfig{
+		NumChunks:    48,
+		ChunkSeconds: 4,
+		BitratesKbps: DefaultBitratesKbps,
+		VBRJitter:    0.1,
+	}
+}
+
+// NewVideo synthesizes a video: chunk sizes follow the nominal ladder with
+// optional variable-bitrate jitter that is correlated across levels (a
+// complex scene is large at every level), as in real encodings.
+func NewVideo(rng *mathx.RNG, cfg VideoConfig) *Video {
+	v := &Video{
+		ChunkSeconds: cfg.ChunkSeconds,
+		BitratesKbps: mathx.CopyOf(cfg.BitratesKbps),
+		SizesBits:    make([][]float64, len(cfg.BitratesKbps)),
+	}
+	for l := range v.SizesBits {
+		v.SizesBits[l] = make([]float64, cfg.NumChunks)
+	}
+	for c := 0; c < cfg.NumChunks; c++ {
+		// One complexity factor per chunk, shared across levels.
+		factor := 1.0
+		if cfg.VBRJitter > 0 {
+			factor = 1 + mathx.Clamp(rng.NormScaled(0, cfg.VBRJitter), -2*cfg.VBRJitter, 2*cfg.VBRJitter)
+		}
+		for l, kbps := range cfg.BitratesKbps {
+			v.SizesBits[l][c] = kbps * 1000 * cfg.ChunkSeconds * factor
+		}
+	}
+	return v
+}

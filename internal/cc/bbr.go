@@ -1,0 +1,267 @@
+// Package cc implements the congestion-control protocols of the paper's
+// second case study (§4): BBR [3] — the target whose probing schedule the
+// adversary exploits — plus TCP Cubic [11] and Reno as the loss-based
+// baselines the paper contrasts it with. All protocols drive the
+// netem.Emulator through the netem.CongestionController interface.
+package cc
+
+import (
+	"math"
+
+	"advnet/internal/mathx"
+	"advnet/internal/netem"
+)
+
+// BBR states.
+const (
+	bbrStartup = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+// BBR reproduces the BBR v1 control loop: a windowed-max filter over
+// delivery-rate samples estimates the bottleneck bandwidth, a windowed-min
+// filter over RTT samples estimates the propagation delay, pacing gain
+// cycles through [1.25, 0.75, 1, 1, 1, 1, 1, 1] in ProbeBW, and every 10
+// seconds the ProbeRTT state shrinks the window to re-measure the floor —
+// the "infrequent, but performance-critical probing" the paper's adversary
+// learns to sabotage.
+type BBR struct {
+	// filters
+	btlBw  *mathx.WindowedMax // bits/sec, keyed by round-trip count
+	minRTT *mathx.WindowedMin // seconds, keyed by time
+
+	state      int
+	cycleIndex int
+	cycleStamp float64
+
+	pacingGain float64
+	cwndGain   float64
+
+	// round counting (a "round" is one window's worth of delivery)
+	roundCount     int64
+	nextRoundBits  float64
+	deliveredBits  float64
+	sentAt         map[int64]pktState
+	fullBwBaseline float64
+	fullBwRounds   int
+
+	// ProbeRTT bookkeeping
+	minRTTStamp   float64 // when the current minRTT was last refreshed
+	probeRTTDone  float64 // time ProbeRTT may end
+	probeRTTRound bool
+
+	ProbeRTTInterval float64 // seconds between RTT probes, default 10
+	ProbeRTTDuration float64 // ProbeRTT dwell time, default 0.2
+}
+
+type pktState struct {
+	sentAt          float64
+	deliveredAtSend float64
+}
+
+var bbrCycle = []float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrStartupGain = 2.885 // 2/ln(2)
+	bbrMinCWND     = 4
+)
+
+// NewBBR returns a BBR instance with the standard 10 s ProbeRTT cadence.
+func NewBBR() *BBR {
+	return &BBR{
+		btlBw:            mathx.NewWindowedMax(10), // 10 round trips
+		minRTT:           mathx.NewWindowedMin(10), // 10 seconds
+		state:            bbrStartup,
+		pacingGain:       bbrStartupGain,
+		cwndGain:         bbrStartupGain,
+		sentAt:           make(map[int64]pktState),
+		ProbeRTTInterval: 10,
+		ProbeRTTDuration: 0.2,
+	}
+}
+
+// Name returns the protocol name.
+func (b *BBR) Name() string { return "bbr" }
+
+// State returns a human-readable state name, for traces and tests.
+func (b *BBR) State() string {
+	switch b.state {
+	case bbrStartup:
+		return "startup"
+	case bbrDrain:
+		return "drain"
+	case bbrProbeBW:
+		return "probe_bw"
+	case bbrProbeRTT:
+		return "probe_rtt"
+	}
+	return "?"
+}
+
+// BtlBwMbps returns the current bottleneck-bandwidth estimate in Mbps.
+func (b *BBR) BtlBwMbps() float64 { return b.btlBw.Value() / 1e6 }
+
+// MinRTT returns the current min-RTT estimate in seconds (+Inf before any
+// sample).
+func (b *BBR) MinRTT() float64 { return b.minRTT.Value() }
+
+func (b *BBR) bdpBits() float64 {
+	rtt := b.minRTT.Value()
+	bw := b.btlBw.Value()
+	if math.IsInf(rtt, 1) || bw <= 0 {
+		return 10 * netem.PacketBits
+	}
+	return bw * rtt
+}
+
+// PacingRate implements netem.CongestionController.
+func (b *BBR) PacingRate(_ float64) float64 {
+	bw := b.btlBw.Value()
+	if bw <= 0 {
+		// Initial rate before any delivery-rate sample.
+		return 10 * netem.PacketBits / 0.1
+	}
+	return b.pacingGain * bw
+}
+
+// CWND implements netem.CongestionController.
+func (b *BBR) CWND(_ float64) float64 {
+	if b.state == bbrProbeRTT {
+		return bbrMinCWND
+	}
+	cwnd := b.cwndGain * b.bdpBits() / netem.PacketBits
+	if cwnd < bbrMinCWND {
+		cwnd = bbrMinCWND
+	}
+	return cwnd
+}
+
+// OnPacketSent implements netem.CongestionController.
+func (b *BBR) OnPacketSent(now float64, seq int64) {
+	b.sentAt[seq] = pktState{sentAt: now, deliveredAtSend: b.deliveredBits}
+}
+
+// OnAck implements netem.CongestionController.
+func (b *BBR) OnAck(a netem.Ack) {
+	st, ok := b.sentAt[a.Seq]
+	if !ok {
+		return
+	}
+	delete(b.sentAt, a.Seq)
+	b.deliveredBits += netem.PacketBits
+
+	// Round accounting: one round per delivered window.
+	if b.deliveredBits >= b.nextRoundBits {
+		b.roundCount++
+		b.nextRoundBits = b.deliveredBits + float64(len(b.sentAt))*netem.PacketBits
+		if b.nextRoundBits <= b.deliveredBits {
+			b.nextRoundBits = b.deliveredBits + netem.PacketBits
+		}
+	}
+
+	// Delivery-rate sample: data delivered since this packet was sent,
+	// over the elapsed time (BBR's rate sampler).
+	dt := a.Now - st.sentAt
+	if dt > 0 {
+		rate := (b.deliveredBits - st.deliveredAtSend) / dt
+		b.btlBw.Update(float64(b.roundCount), rate)
+	}
+
+	// RTT sample.
+	prevMin := b.minRTT.Value()
+	newMin := b.minRTT.Update(a.Now, a.RTT)
+	if newMin < prevMin || math.IsInf(prevMin, 1) {
+		b.minRTTStamp = a.Now
+	}
+
+	b.updateState(a.Now)
+}
+
+func (b *BBR) updateState(now float64) {
+	switch b.state {
+	case bbrStartup:
+		b.checkFullBandwidth()
+		if b.fullBwRounds >= 3 {
+			b.state = bbrDrain
+			b.pacingGain = 1 / bbrStartupGain
+			b.cwndGain = bbrStartupGain
+		}
+	case bbrDrain:
+		if float64(len(b.sentAt))*netem.PacketBits <= b.bdpBits() {
+			b.enterProbeBW(now)
+		}
+	case bbrProbeBW:
+		b.advanceCycle(now)
+	case bbrProbeRTT:
+		if now >= b.probeRTTDone {
+			b.minRTTStamp = now
+			if b.fullBwRounds >= 3 {
+				b.enterProbeBW(now)
+			} else {
+				b.state = bbrStartup
+				b.pacingGain = bbrStartupGain
+				b.cwndGain = bbrStartupGain
+			}
+		}
+	}
+	// Enter ProbeRTT when the min-RTT estimate has gone stale.
+	if b.state != bbrProbeRTT && now-b.minRTTStamp > b.ProbeRTTInterval {
+		b.state = bbrProbeRTT
+		b.pacingGain = 1
+		b.cwndGain = 1
+		b.probeRTTDone = now + b.ProbeRTTDuration
+	}
+}
+
+func (b *BBR) checkFullBandwidth() {
+	bw := b.btlBw.Value()
+	if bw >= b.fullBwBaseline*1.25 {
+		b.fullBwBaseline = bw
+		b.fullBwRounds = 0
+		return
+	}
+	if bw > 0 {
+		b.fullBwRounds++
+	}
+}
+
+func (b *BBR) enterProbeBW(now float64) {
+	b.state = bbrProbeBW
+	b.cwndGain = 2
+	// Start the cycle at a random-ish but deterministic phase (phase 2,
+	// the first neutral phase, as Linux BBR avoids starting on 0.75).
+	b.cycleIndex = 2
+	b.cycleStamp = now
+	b.pacingGain = bbrCycle[b.cycleIndex]
+}
+
+func (b *BBR) advanceCycle(now float64) {
+	rtt := b.minRTT.Value()
+	if math.IsInf(rtt, 1) {
+		rtt = 0.1
+	}
+	if now-b.cycleStamp >= rtt {
+		b.cycleIndex = (b.cycleIndex + 1) % len(bbrCycle)
+		b.cycleStamp = now
+		b.pacingGain = bbrCycle[b.cycleIndex]
+	}
+}
+
+// OnLoss implements netem.CongestionController. BBR v1 ignores individual
+// losses (its insensitivity to random loss is why the paper's adversary must
+// find a subtler weakness).
+func (b *BBR) OnLoss(_ float64, seq int64) {
+	delete(b.sentAt, seq)
+}
+
+// OnTimeout implements netem.CongestionController.
+func (b *BBR) OnTimeout(_ float64) {
+	for k := range b.sentAt {
+		delete(b.sentAt, k)
+	}
+}
+
+// PacingGain exposes the current pacing gain (useful in tests/figures).
+func (b *BBR) PacingGain() float64 { return b.pacingGain }

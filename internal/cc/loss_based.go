@@ -1,0 +1,233 @@
+package cc
+
+import (
+	"math"
+
+	"advnet/internal/netem"
+)
+
+// lossBased holds the plumbing shared by Reno and Cubic: cwnd/ssthresh
+// bookkeeping, an RTT estimate for pacing, and loss reaction hooks.
+type lossBased struct {
+	cwnd     float64 // packets
+	ssthresh float64
+	srtt     float64
+	lastCut  float64 // time of the last multiplicative decrease
+}
+
+func (l *lossBased) init() {
+	l.cwnd = 10
+	l.ssthresh = math.MaxFloat64
+}
+
+// PacingRate paces at cwnd per smoothed RTT (with a generous initial rate
+// before any RTT sample).
+func (l *lossBased) PacingRate(_ float64) float64 {
+	if l.srtt <= 0 {
+		return 100 * netem.PacketBits
+	}
+	return 1.2 * l.cwnd * netem.PacketBits / l.srtt
+}
+
+func (l *lossBased) observeRTT(rtt float64) {
+	if l.srtt == 0 {
+		l.srtt = rtt
+	} else {
+		l.srtt = 0.875*l.srtt + 0.125*rtt
+	}
+}
+
+// Reno is classic TCP Reno AIMD: slow start to ssthresh, +1/cwnd per ack,
+// halve on loss.
+type Reno struct {
+	lossBased
+}
+
+// NewReno returns a Reno instance.
+func NewReno() *Reno {
+	r := &Reno{}
+	r.init()
+	return r
+}
+
+// Name returns the protocol name.
+func (r *Reno) Name() string { return "reno" }
+
+// CWND implements netem.CongestionController.
+func (r *Reno) CWND(_ float64) float64 { return r.cwnd }
+
+// OnPacketSent implements netem.CongestionController.
+func (r *Reno) OnPacketSent(_ float64, _ int64) {}
+
+// OnAck implements netem.CongestionController.
+func (r *Reno) OnAck(a netem.Ack) {
+	r.observeRTT(a.RTT)
+	if r.cwnd < r.ssthresh {
+		r.cwnd++
+	} else {
+		r.cwnd += 1 / r.cwnd
+	}
+}
+
+// OnLoss implements netem.CongestionController.
+func (r *Reno) OnLoss(now float64, _ int64) {
+	if now-r.lastCut < r.srtt {
+		return // at most one cut per RTT
+	}
+	r.lastCut = now
+	r.cwnd = math.Max(2, r.cwnd/2)
+	r.ssthresh = r.cwnd
+}
+
+// OnTimeout implements netem.CongestionController.
+func (r *Reno) OnTimeout(_ float64) {
+	r.ssthresh = math.Max(2, r.cwnd/2)
+	r.cwnd = 2
+}
+
+// Cubic is TCP Cubic [11]: window growth follows W(t) = C·(t−K)³ + Wmax
+// since the last decrease, with β = 0.7 multiplicative decrease. Like Reno
+// (and as the paper notes for Cubic, Reno and HTCP alike) it shares the
+// "trivial weakness to packet loss even as low as 1%".
+type Cubic struct {
+	lossBased
+	wMax    float64
+	epoch   float64 // time of last decrease
+	started bool
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a Cubic instance.
+func NewCubic() *Cubic {
+	c := &Cubic{}
+	c.init()
+	return c
+}
+
+// Name returns the protocol name.
+func (c *Cubic) Name() string { return "cubic" }
+
+// CWND implements netem.CongestionController.
+func (c *Cubic) CWND(_ float64) float64 { return c.cwnd }
+
+// OnPacketSent implements netem.CongestionController.
+func (c *Cubic) OnPacketSent(_ float64, _ int64) {}
+
+// OnAck implements netem.CongestionController.
+func (c *Cubic) OnAck(a netem.Ack) {
+	c.observeRTT(a.RTT)
+	if c.cwnd < c.ssthresh {
+		c.cwnd++
+		return
+	}
+	if !c.started {
+		// First congestion-avoidance ack: establish an epoch.
+		c.started = true
+		c.epoch = a.Now
+		c.wMax = c.cwnd
+	}
+	t := a.Now - c.epoch
+	k := math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+	target := cubicC*math.Pow(t-k, 3) + c.wMax
+	if target > c.cwnd {
+		// Approach the cubic target over one RTT.
+		c.cwnd += (target - c.cwnd) / c.cwnd
+	} else {
+		c.cwnd += 0.01 / c.cwnd // TCP-friendly slow probe
+	}
+}
+
+// OnLoss implements netem.CongestionController.
+func (c *Cubic) OnLoss(now float64, _ int64) {
+	if now-c.lastCut < c.srtt {
+		return
+	}
+	c.lastCut = now
+	c.wMax = c.cwnd
+	c.cwnd = math.Max(2, c.cwnd*cubicBeta)
+	c.ssthresh = c.cwnd
+	c.epoch = now
+	c.started = true
+}
+
+// OnTimeout implements netem.CongestionController.
+func (c *Cubic) OnTimeout(_ float64) {
+	c.wMax = c.cwnd
+	c.ssthresh = math.Max(2, c.cwnd*cubicBeta)
+	c.cwnd = 2
+	c.started = false
+}
+
+// HTCP is Hamilton TCP (Leith & Shorten), the third loss-based variant the
+// paper names as trivially loss-vulnerable. Its additive increase grows with
+// the time elapsed since the last congestion event:
+//
+//	α(Δ) = 1 + 10(Δ − Δ_L) + ((Δ − Δ_L)/2)²   for Δ > Δ_L (1 s)
+//
+// giving it much faster recovery than Reno on long fat pipes while retaining
+// multiplicative decrease on every loss.
+type HTCP struct {
+	lossBased
+	lastCongestion float64
+}
+
+// htcpDeltaL is the low-speed threshold Δ_L.
+const htcpDeltaL = 1.0
+
+// NewHTCP returns an H-TCP instance.
+func NewHTCP() *HTCP {
+	h := &HTCP{}
+	h.init()
+	return h
+}
+
+// Name returns the protocol name.
+func (h *HTCP) Name() string { return "htcp" }
+
+// CWND implements netem.CongestionController.
+func (h *HTCP) CWND(_ float64) float64 { return h.cwnd }
+
+// OnPacketSent implements netem.CongestionController.
+func (h *HTCP) OnPacketSent(_ float64, _ int64) {}
+
+// alpha returns the H-TCP additive-increase factor for the current time.
+func (h *HTCP) alpha(now float64) float64 {
+	delta := now - h.lastCongestion
+	if delta <= htcpDeltaL {
+		return 1
+	}
+	d := delta - htcpDeltaL
+	return 1 + 10*d + (d/2)*(d/2)
+}
+
+// OnAck implements netem.CongestionController.
+func (h *HTCP) OnAck(a netem.Ack) {
+	h.observeRTT(a.RTT)
+	if h.cwnd < h.ssthresh {
+		h.cwnd++
+		return
+	}
+	h.cwnd += h.alpha(a.Now) / h.cwnd
+}
+
+// OnLoss implements netem.CongestionController.
+func (h *HTCP) OnLoss(now float64, _ int64) {
+	if now-h.lastCut < h.srtt {
+		return
+	}
+	h.lastCut = now
+	h.lastCongestion = now
+	h.cwnd = math.Max(2, h.cwnd*0.8) // adaptive β simplified to 0.8
+	h.ssthresh = h.cwnd
+}
+
+// OnTimeout implements netem.CongestionController.
+func (h *HTCP) OnTimeout(now float64) {
+	h.lastCongestion = now
+	h.ssthresh = math.Max(2, h.cwnd/2)
+	h.cwnd = 2
+}

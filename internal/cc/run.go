@@ -1,0 +1,97 @@
+package cc
+
+import (
+	"advnet/internal/mathx"
+	"advnet/internal/netem"
+	"advnet/internal/trace"
+)
+
+// Sample is one point of a congestion-control run's time series — the data
+// behind Figure 5 (throughput vs link capacity over an adversarial trace).
+type Sample struct {
+	Time           float64
+	ThroughputMbps float64
+	BandwidthMbps  float64
+	LatencyMs      float64
+	LossRate       float64
+	QueueDelayS    float64
+	Utilization    float64
+	State          string // BBR state if the protocol exposes one
+}
+
+// stateful is implemented by protocols that expose an internal state name.
+type stateful interface{ State() string }
+
+// RunTrace replays a network-conditions trace against a congestion
+// controller on the emulator and returns the throughput time series sampled
+// every sampleS seconds.
+func RunTrace(cc netem.CongestionController, tr *trace.Trace, cfg netem.Config, rng *mathx.RNG, sampleS float64) []Sample {
+	if sampleS <= 0 {
+		sampleS = 0.03
+	}
+	first := tr.Points[0]
+	cfg.Initial = netem.Conditions{
+		BandwidthMbps: first.BandwidthMbps,
+		OneWayDelayMs: first.LatencyMs,
+		LossRate:      first.LossRate,
+	}
+	em := netem.New(cc, cfg, rng)
+	var out []Sample
+	now := 0.0
+	for _, p := range tr.Points {
+		em.SetConditions(netem.Conditions{
+			BandwidthMbps: p.BandwidthMbps,
+			OneWayDelayMs: p.LatencyMs,
+			LossRate:      p.LossRate,
+		})
+		end := now + p.Duration
+		for now < end-1e-9 {
+			step := sampleS
+			if now+step > end {
+				step = end - now
+			}
+			iv := em.BeginInterval()
+			em.Run(now + step)
+			now += step
+			s := Sample{
+				Time:           now,
+				ThroughputMbps: em.ThroughputMbps(iv),
+				BandwidthMbps:  p.BandwidthMbps,
+				LatencyMs:      p.LatencyMs,
+				LossRate:       p.LossRate,
+				QueueDelayS:    em.QueueingDelay(),
+				Utilization:    em.Utilization(iv, p.BandwidthMbps),
+			}
+			if st, ok := cc.(stateful); ok {
+				s.State = st.State()
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MeanUtilization returns the time-weighted mean utilization of a series
+// (samples are equally spaced, so the plain mean).
+func MeanUtilization(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s.Utilization
+	}
+	return sum / float64(len(samples))
+}
+
+// MeanThroughput returns the mean delivered rate of a series in Mbps.
+func MeanThroughput(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s.ThroughputMbps
+	}
+	return sum / float64(len(samples))
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"advnet/internal/mathx"
+	"advnet/internal/netem"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+	"advnet/internal/trace"
+)
+
+// CCAdversaryConfig parameterizes the congestion-control adversary of §4.
+// The default action ranges are Table 1 of the paper.
+type CCAdversaryConfig struct {
+	BandwidthLo float64 // Mbps, Table 1: 6
+	BandwidthHi float64 // Mbps, Table 1: 24
+	LatencyLoMs float64 // one-way ms, Table 1: 15
+	LatencyHiMs float64 // Table 1: 60
+	LossLo      float64 // Table 1: 0
+	LossHi      float64 // Table 1: 0.10
+
+	IntervalS    float64 // action granularity, paper: 30 ms
+	EpisodeSteps int     // steps per episode (1000 → the paper's 30 s runs)
+	SmoothCoef   float64 // weight of S in 1−U−L−0.01·S
+	EWMAAlpha    float64 // smoothing-reference EWMA factor
+	QueuePackets int     // bottleneck queue size
+	Hidden       []int   // paper: a single hidden layer of 4 neurons
+	InitLogStd   float64
+	MaxLogStd    float64 // cap on effective exploration noise (see rl.GaussianPolicy)
+	// Goal selects the adversary's objective (§5); the default
+	// CCGoalUnderutilization is the paper's 1 − U − L − c·S.
+	Goal CCGoal
+	// CongestionScaleS normalizes queuing delay for CCGoalCongestion
+	// (full reward at this much standing queue); default 0.25 s.
+	CongestionScaleS float64
+}
+
+// DefaultCCAdversaryConfig returns the paper's §4 settings (Table 1 ranges,
+// 30 ms granularity, reward 1 − U − L − 0.01·S).
+func DefaultCCAdversaryConfig() CCAdversaryConfig {
+	return CCAdversaryConfig{
+		BandwidthLo:  6,
+		BandwidthHi:  24,
+		LatencyLoMs:  15,
+		LatencyHiMs:  60,
+		LossLo:       0,
+		LossHi:       0.10,
+		IntervalS:    0.03,
+		EpisodeSteps: 1000,
+		SmoothCoef:   0.01,
+		EWMAAlpha:    0.05,
+		QueuePackets: 128,
+		Hidden:       []int{4},
+		InitLogStd:   -1.2,
+		MaxLogStd:    -1.0,
+	}
+}
+
+// Ranges returns the Table-1 action ranges as (lo, hi) pairs in the order
+// bandwidth (Mbps), latency (ms), loss rate.
+func (c CCAdversaryConfig) Ranges() [3][2]float64 {
+	return [3][2]float64{
+		{c.BandwidthLo, c.BandwidthHi},
+		{c.LatencyLoMs, c.LatencyHiMs},
+		{c.LossLo, c.LossHi},
+	}
+}
+
+// CCAction is one decoded adversary action.
+type CCAction struct {
+	BandwidthMbps float64
+	LatencyMs     float64
+	LossRate      float64
+	Raw           [3]float64 // unclipped policy outputs (Figure 6 plots these)
+}
+
+// CCStepRecord captures one 30 ms interval of an adversary episode.
+type CCStepRecord struct {
+	Time           float64
+	Action         CCAction
+	Utilization    float64
+	ThroughputMbps float64
+	QueueDelayS    float64
+	Reward         float64
+	State          string // target's internal state, if exposed
+}
+
+// CCEnv is the online congestion-control adversary environment: every
+// IntervalS of virtual time the adversary observes (link utilization,
+// queuing delay) and fixes the next (bandwidth, latency, loss) tuple; its
+// reward is 1 − U − L − SmoothCoef·S with S the deviation of bandwidth and
+// latency from their exponentially-weighted moving averages.
+type CCEnv struct {
+	cfg    CCAdversaryConfig
+	newCC  func() netem.CongestionController
+	rng    *mathx.RNG
+	target netem.CongestionController
+	em     *netem.Emulator
+
+	step    int
+	ewmaBw  *mathx.EWMA
+	ewmaLat *mathx.EWMA
+	lastU   float64
+	lastQ   float64
+
+	records []CCStepRecord
+}
+
+// NewCCEnv builds an adversary environment; newCC constructs a fresh target
+// protocol each episode, and rng drives the emulator's random loss.
+func NewCCEnv(newCC func() netem.CongestionController, cfg CCAdversaryConfig, rng *mathx.RNG) *CCEnv {
+	return &CCEnv{cfg: cfg, newCC: newCC, rng: rng}
+}
+
+// DecodeAction maps raw policy outputs (nominally [−1,1] per dimension) to
+// link conditions within the Table-1 ranges.
+func (e *CCEnv) DecodeAction(raw []float64) CCAction {
+	m := func(x, lo, hi float64) float64 {
+		return lo + (hi-lo)*(mathx.Clamp(x, -1, 1)+1)/2
+	}
+	a := CCAction{
+		BandwidthMbps: m(raw[0], e.cfg.BandwidthLo, e.cfg.BandwidthHi),
+		LatencyMs:     m(raw[1], e.cfg.LatencyLoMs, e.cfg.LatencyHiMs),
+		LossRate:      m(raw[2], e.cfg.LossLo, e.cfg.LossHi),
+	}
+	copy(a.Raw[:], raw)
+	return a
+}
+
+// Reset implements rl.Env.
+func (e *CCEnv) Reset() []float64 {
+	e.target = e.newCC()
+	mid := netem.Conditions{
+		BandwidthMbps: (e.cfg.BandwidthLo + e.cfg.BandwidthHi) / 2,
+		OneWayDelayMs: (e.cfg.LatencyLoMs + e.cfg.LatencyHiMs) / 2,
+		LossRate:      0,
+	}
+	e.em = netem.New(e.target, netem.Config{
+		Initial:      mid,
+		QueuePackets: e.cfg.QueuePackets,
+	}, e.rng.Split())
+	e.step = 0
+	e.ewmaBw = mathx.NewEWMA(e.cfg.EWMAAlpha)
+	e.ewmaLat = mathx.NewEWMA(e.cfg.EWMAAlpha)
+	e.lastU, e.lastQ = 0, 0
+	e.records = e.records[:0]
+	return e.observation()
+}
+
+// observation is the paper's two-input state: current link utilization and
+// current queuing delay (normalized to roughly unit scale).
+func (e *CCEnv) observation() []float64 {
+	return []float64{e.lastU, e.lastQ / 0.1}
+}
+
+// Step implements rl.Env.
+func (e *CCEnv) Step(raw []float64) ([]float64, float64, bool) {
+	a := e.DecodeAction(raw)
+	e.em.SetConditions(netem.Conditions{
+		BandwidthMbps: a.BandwidthMbps,
+		OneWayDelayMs: a.LatencyMs,
+		LossRate:      a.LossRate,
+	})
+	iv := e.em.BeginInterval()
+	e.step++
+	e.em.Run(float64(e.step) * e.cfg.IntervalS)
+
+	u := e.em.Utilization(iv, a.BandwidthMbps)
+	q := e.em.QueueingDelay()
+	e.lastU, e.lastQ = u, q
+
+	// Smoothing factor: normalized deviation from the EWMAs of bandwidth
+	// and latency. The EWMAs are updated after measuring the deviation.
+	s := 0.0
+	if e.ewmaBw.Initialized() {
+		s += absf(a.BandwidthMbps-e.ewmaBw.Value()) / (e.cfg.BandwidthHi - e.cfg.BandwidthLo)
+		s += absf(a.LatencyMs-e.ewmaLat.Value()) / (e.cfg.LatencyHiMs - e.cfg.LatencyLoMs)
+	}
+	e.ewmaBw.Update(a.BandwidthMbps)
+	e.ewmaLat.Update(a.LatencyMs)
+
+	var reward float64
+	switch e.cfg.Goal {
+	case CCGoalCongestion:
+		scale := e.cfg.CongestionScaleS
+		if scale <= 0 {
+			scale = 0.25
+		}
+		reward = mathx.Clamp(q/scale, 0, 1) - a.LossRate - e.cfg.SmoothCoef*s
+	default:
+		reward = 1 - u - a.LossRate - e.cfg.SmoothCoef*s
+	}
+
+	rec := CCStepRecord{
+		Time:           float64(e.step) * e.cfg.IntervalS,
+		Action:         a,
+		Utilization:    u,
+		ThroughputMbps: e.em.ThroughputMbps(iv),
+		QueueDelayS:    q,
+		Reward:         reward,
+	}
+	if st, ok := e.target.(interface{ State() string }); ok {
+		rec.State = st.State()
+	}
+	e.records = append(e.records, rec)
+
+	done := e.step >= e.cfg.EpisodeSteps
+	return e.observation(), reward, done
+}
+
+// ObservationSize implements rl.Env.
+func (e *CCEnv) ObservationSize() int { return 2 }
+
+// ActionSpec implements rl.Env.
+func (e *CCEnv) ActionSpec() rl.ActionSpec {
+	return rl.ActionSpec{
+		Dim:  3,
+		Low:  []float64{-1, -1, -1},
+		High: []float64{1, 1, 1},
+	}
+}
+
+// Records returns the per-interval records of the current episode.
+func (e *CCEnv) Records() []CCStepRecord { return e.records }
+
+// CCAdversary is a trained congestion-control adversary.
+type CCAdversary struct {
+	Policy *rl.GaussianPolicy
+	Cfg    CCAdversaryConfig
+}
+
+// NewCCAdversary builds an untrained adversary.
+func NewCCAdversary(rng *mathx.RNG, cfg CCAdversaryConfig) *CCAdversary {
+	sizes := append([]int{2}, cfg.Hidden...)
+	sizes = append(sizes, 3)
+	net := nn.NewMLP(rng, sizes, nn.Tanh)
+	pol := rl.NewGaussianPolicy(net, cfg.InitLogStd)
+	if cfg.MaxLogStd != 0 {
+		pol.MaxLogStd = cfg.MaxLogStd
+	}
+	return &CCAdversary{Policy: pol, Cfg: cfg}
+}
+
+// CCTrainOptions controls adversary training.
+type CCTrainOptions struct {
+	Iterations   int
+	RolloutSteps int
+	LR           float64
+	Gamma        float64 // discount; the attack's payoff arrives ~10 BBR
+	Lambda       float64 // round trips after the action, so long horizons help
+}
+
+// DefaultCCTrainOptions returns settings sized for the repository's
+// experiments (the paper: ~600k 30 ms action/observation pairs over 200
+// iterations — Iterations 300 at RolloutSteps 2000 matches that budget).
+func DefaultCCTrainOptions() CCTrainOptions {
+	return CCTrainOptions{Iterations: 150, RolloutSteps: 2000, LR: 3e-4, Gamma: 0.995, Lambda: 0.97}
+}
+
+// TrainCCAdversary trains a fresh adversary against the protocol produced by
+// newCC and returns it with per-iteration statistics.
+func TrainCCAdversary(newCC func() netem.CongestionController, cfg CCAdversaryConfig, opt CCTrainOptions, rng *mathx.RNG) (*CCAdversary, []rl.IterStats, error) {
+	adv := NewCCAdversary(rng, cfg)
+	// The value net is deliberately larger than the paper's tiny policy:
+	// it only aids training and does not constrain the learned adversary.
+	value := nn.NewMLP(rng, []int{2, 16, 1}, nn.Tanh)
+
+	pcfg := rl.DefaultPPOConfig()
+	pcfg.RolloutSteps = opt.RolloutSteps
+	pcfg.LR = opt.LR
+	if opt.Gamma > 0 {
+		pcfg.Gamma = opt.Gamma
+	}
+	if opt.Lambda > 0 {
+		pcfg.Lambda = opt.Lambda
+	}
+	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := NewCCEnv(newCC, cfg, rng.Split())
+	stats := ppo.Train(env, opt.Iterations)
+	return adv, stats, nil
+}
+
+// RunEpisode plays the adversary online against a fresh target for one
+// episode and returns the per-interval records (deterministic actions when
+// stochastic is false — the Figure 6 setting, "without training noise").
+func (a *CCAdversary) RunEpisode(newCC func() netem.CongestionController, rng *mathx.RNG, stochastic bool) []CCStepRecord {
+	env := NewCCEnv(newCC, a.Cfg, rng)
+	obs := env.Reset()
+	for {
+		var action []float64
+		if stochastic {
+			action, _ = a.Policy.Sample(rng, obs)
+		} else {
+			action = a.Policy.Mode(obs)
+		}
+		next, _, done := env.Step(action)
+		obs = next
+		if done {
+			break
+		}
+	}
+	out := make([]CCStepRecord, len(env.Records()))
+	copy(out, env.Records())
+	return out
+}
+
+// RecordsToTrace converts an episode's actions into a replayable trace.
+func RecordsToTrace(records []CCStepRecord, intervalS float64, name string) *trace.Trace {
+	tr := &trace.Trace{Name: name}
+	for _, r := range records {
+		tr.Points = append(tr.Points, trace.Point{
+			Duration:      intervalS,
+			BandwidthMbps: r.Action.BandwidthMbps,
+			LatencyMs:     r.Action.LatencyMs,
+			LossRate:      r.Action.LossRate,
+		})
+	}
+	return tr
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

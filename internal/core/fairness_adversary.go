@@ -1,0 +1,181 @@
+package core
+
+import (
+	"advnet/internal/mathx"
+	"advnet/internal/netem"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+)
+
+// FairnessEnv extends the congestion-control adversary to *competing* flows,
+// the setting behind §5's incast/congestion adversary ideas: the adversary
+// controls the shared link's conditions and is rewarded for driving the
+// flows' bandwidth shares apart (1 − Jain index), again minus loss and
+// smoothing costs so the unfairness must come from exploiting the protocols'
+// dynamics rather than from trivially killing the link.
+type FairnessEnv struct {
+	cfg    CCAdversaryConfig
+	newCCs []func() netem.CongestionController
+	rng    *mathx.RNG
+
+	em       *netem.MultiEmulator
+	step     int
+	ewmaBw   *mathx.EWMA
+	ewmaLat  *mathx.EWMA
+	lastObs  []float64
+	lastBits []float64
+
+	records []FairnessRecord
+}
+
+// FairnessRecord captures one interval of a fairness-adversary episode.
+type FairnessRecord struct {
+	Time       float64
+	Action     CCAction
+	Shares     []float64 // per-flow share of delivered bits this interval
+	Jain       float64
+	QueueDelay float64
+	Reward     float64
+}
+
+// NewFairnessEnv builds an environment over the given competing flows
+// (at least two).
+func NewFairnessEnv(newCCs []func() netem.CongestionController, cfg CCAdversaryConfig, rng *mathx.RNG) *FairnessEnv {
+	if len(newCCs) < 2 {
+		panic("core: FairnessEnv needs at least two flows")
+	}
+	return &FairnessEnv{cfg: cfg, newCCs: newCCs, rng: rng}
+}
+
+// Reset implements rl.Env.
+func (e *FairnessEnv) Reset() []float64 {
+	ccs := make([]netem.CongestionController, len(e.newCCs))
+	for i, f := range e.newCCs {
+		ccs[i] = f()
+	}
+	mid := netem.Conditions{
+		BandwidthMbps: (e.cfg.BandwidthLo + e.cfg.BandwidthHi) / 2,
+		OneWayDelayMs: (e.cfg.LatencyLoMs + e.cfg.LatencyHiMs) / 2,
+	}
+	e.em = netem.NewMulti(ccs, netem.Config{
+		Initial:      mid,
+		QueuePackets: e.cfg.QueuePackets,
+	}, e.rng.Split())
+	e.step = 0
+	e.ewmaBw = mathx.NewEWMA(e.cfg.EWMAAlpha)
+	e.ewmaLat = mathx.NewEWMA(e.cfg.EWMAAlpha)
+	e.lastObs = make([]float64, e.ObservationSize())
+	e.lastBits = make([]float64, len(e.newCCs))
+	e.records = e.records[:0]
+	return mathx.CopyOf(e.lastObs)
+}
+
+// Step implements rl.Env.
+func (e *FairnessEnv) Step(raw []float64) ([]float64, float64, bool) {
+	a := CCAction{
+		BandwidthMbps: mapRange(raw[0], e.cfg.BandwidthLo, e.cfg.BandwidthHi),
+		LatencyMs:     mapRange(raw[1], e.cfg.LatencyLoMs, e.cfg.LatencyHiMs),
+		LossRate:      mapRange(raw[2], e.cfg.LossLo, e.cfg.LossHi),
+	}
+	copy(a.Raw[:], raw)
+	e.em.SetConditions(netem.Conditions{
+		BandwidthMbps: a.BandwidthMbps,
+		OneWayDelayMs: a.LatencyMs,
+		LossRate:      a.LossRate,
+	})
+	e.step++
+	e.em.Run(float64(e.step) * e.cfg.IntervalS)
+
+	// Per-flow deliveries over this interval.
+	shares := make([]float64, len(e.newCCs))
+	var total float64
+	for i := range shares {
+		bits := e.em.FlowDeliveredBits(i)
+		shares[i] = bits - e.lastBits[i]
+		e.lastBits[i] = bits
+		total += shares[i]
+	}
+	jain := 1.0
+	if total > 0 {
+		var sumSq float64
+		for i := range shares {
+			shares[i] /= total
+			sumSq += shares[i] * shares[i]
+		}
+		jain = 1 / (float64(len(shares)) * sumSq)
+	} else {
+		for i := range shares {
+			shares[i] = 0
+		}
+	}
+
+	s := 0.0
+	if e.ewmaBw.Initialized() {
+		s += absf(a.BandwidthMbps-e.ewmaBw.Value()) / (e.cfg.BandwidthHi - e.cfg.BandwidthLo)
+		s += absf(a.LatencyMs-e.ewmaLat.Value()) / (e.cfg.LatencyHiMs - e.cfg.LatencyLoMs)
+	}
+	e.ewmaBw.Update(a.BandwidthMbps)
+	e.ewmaLat.Update(a.LatencyMs)
+
+	reward := (1 - jain) - a.LossRate - e.cfg.SmoothCoef*s
+
+	q := e.em.QueueingDelay()
+	copy(e.lastObs, shares)
+	e.lastObs[len(shares)] = q / 0.1
+
+	e.records = append(e.records, FairnessRecord{
+		Time:       float64(e.step) * e.cfg.IntervalS,
+		Action:     a,
+		Shares:     mathx.CopyOf(shares),
+		Jain:       jain,
+		QueueDelay: q,
+		Reward:     reward,
+	})
+	done := e.step >= e.cfg.EpisodeSteps
+	return mathx.CopyOf(e.lastObs), reward, done
+}
+
+// ObservationSize implements rl.Env: per-flow shares plus queueing delay.
+func (e *FairnessEnv) ObservationSize() int { return len(e.newCCs) + 1 }
+
+// ActionSpec implements rl.Env.
+func (e *FairnessEnv) ActionSpec() rl.ActionSpec {
+	return rl.ActionSpec{Dim: 3, Low: []float64{-1, -1, -1}, High: []float64{1, 1, 1}}
+}
+
+// Records returns the per-interval records of the current episode.
+func (e *FairnessEnv) Records() []FairnessRecord { return e.records }
+
+// TrainFairnessAdversary trains an adversary to drive the given flows apart.
+func TrainFairnessAdversary(newCCs []func() netem.CongestionController, cfg CCAdversaryConfig, opt CCTrainOptions, rng *mathx.RNG) (*CCAdversary, []rl.IterStats, error) {
+	adv := &CCAdversary{Cfg: cfg}
+	sizes := append([]int{len(newCCs) + 1}, cfg.Hidden...)
+	sizes = append(sizes, 3)
+	pol := rl.NewGaussianPolicy(nn.NewMLP(rng, sizes, nn.Tanh), cfg.InitLogStd)
+	if cfg.MaxLogStd != 0 {
+		pol.MaxLogStd = cfg.MaxLogStd
+	}
+	adv.Policy = pol
+	value := nn.NewMLP(rng, []int{len(newCCs) + 1, 16, 1}, nn.Tanh)
+
+	pcfg := rl.DefaultPPOConfig()
+	pcfg.RolloutSteps = opt.RolloutSteps
+	pcfg.LR = opt.LR
+	if opt.Gamma > 0 {
+		pcfg.Gamma = opt.Gamma
+	}
+	if opt.Lambda > 0 {
+		pcfg.Lambda = opt.Lambda
+	}
+	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := NewFairnessEnv(newCCs, cfg, rng.Split())
+	stats := ppo.Train(env, opt.Iterations)
+	return adv, stats, nil
+}
+
+func mapRange(x, lo, hi float64) float64 {
+	return lo + (hi-lo)*(mathx.Clamp(x, -1, 1)+1)/2
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+)
+
+// adversarySnapshot is the on-disk form of a trained adversary (either
+// kind): configuration, mean network, and exploration scale.
+type adversarySnapshot struct {
+	Kind   string              `json:"kind"` // "abr" or "cc"
+	ABRCfg *ABRAdversaryConfig `json:"abr_cfg,omitempty"`
+	CCCfg  *CCAdversaryConfig  `json:"cc_cfg,omitempty"`
+	Net    json.RawMessage     `json:"net"`
+	LogStd []float64           `json:"log_std"`
+}
+
+// Save writes the adversary to path as JSON.
+func (a *ABRAdversary) Save(path string) error {
+	netData, err := json.Marshal(a.Policy.Net())
+	if err != nil {
+		return err
+	}
+	snap := adversarySnapshot{
+		Kind:   "abr",
+		ABRCfg: &a.Cfg,
+		Net:    netData,
+		LogStd: mathx.CopyOf(a.Policy.LogStd()),
+	}
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadABRAdversary reads an adversary previously written by Save.
+func LoadABRAdversary(path string) (*ABRAdversary, error) {
+	snap, err := loadSnapshot(path, "abr")
+	if err != nil {
+		return nil, err
+	}
+	net := new(nn.MLP)
+	if err := json.Unmarshal(snap.Net, net); err != nil {
+		return nil, err
+	}
+	pol := rl.NewGaussianPolicy(net, 0)
+	copy(pol.LogStd(), snap.LogStd)
+	return &ABRAdversary{Policy: pol, Cfg: *snap.ABRCfg}, nil
+}
+
+// Save writes the adversary to path as JSON.
+func (a *CCAdversary) Save(path string) error {
+	netData, err := json.Marshal(a.Policy.Net())
+	if err != nil {
+		return err
+	}
+	snap := adversarySnapshot{
+		Kind:   "cc",
+		CCCfg:  &a.Cfg,
+		Net:    netData,
+		LogStd: mathx.CopyOf(a.Policy.LogStd()),
+	}
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadCCAdversary reads an adversary previously written by Save.
+func LoadCCAdversary(path string) (*CCAdversary, error) {
+	snap, err := loadSnapshot(path, "cc")
+	if err != nil {
+		return nil, err
+	}
+	net := new(nn.MLP)
+	if err := json.Unmarshal(snap.Net, net); err != nil {
+		return nil, err
+	}
+	pol := rl.NewGaussianPolicy(net, 0)
+	copy(pol.LogStd(), snap.LogStd)
+	if snap.CCCfg.MaxLogStd != 0 {
+		pol.MaxLogStd = snap.CCCfg.MaxLogStd
+	}
+	return &CCAdversary{Policy: pol, Cfg: *snap.CCCfg}, nil
+}
+
+func loadSnapshot(path, wantKind string) (*adversarySnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap adversarySnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, err
+	}
+	if snap.Kind != wantKind {
+		return nil, fmt.Errorf("core: snapshot kind %q, want %q", snap.Kind, wantKind)
+	}
+	switch wantKind {
+	case "abr":
+		if snap.ABRCfg == nil {
+			return nil, fmt.Errorf("core: abr snapshot missing config")
+		}
+	case "cc":
+		if snap.CCCfg == nil {
+			return nil, fmt.Errorf("core: cc snapshot missing config")
+		}
+	}
+	return &snap, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"advnet/internal/abr"
+	"advnet/internal/mathx"
+)
+
+func TestABRAdversarySaveLoad(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	v := testVideo()
+	adv := NewABRAdversary(rng, v.Levels(), DefaultABRAdversaryConfig())
+	adv.Policy.LogStd()[0] = -1.234
+
+	path := filepath.Join(t.TempDir(), "abr.json")
+	if err := adv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadABRAdversary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.BandwidthHi != adv.Cfg.BandwidthHi ||
+		loaded.Cfg.HistoryLen != adv.Cfg.HistoryLen ||
+		len(loaded.Cfg.Hidden) != len(adv.Cfg.Hidden) {
+		t.Fatalf("config changed: %+v vs %+v", loaded.Cfg, adv.Cfg)
+	}
+	if loaded.Policy.LogStd()[0] != -1.234 {
+		t.Fatal("log-std not preserved")
+	}
+	// Deterministic traces from both must match.
+	a := adv.GenerateTrace(v, abr.NewBB(), mathx.NewRNG(2), false, "a")
+	b := loaded.GenerateTrace(v, abr.NewBB(), mathx.NewRNG(2), false, "b")
+	for i := range a.Points {
+		if a.Points[i].BandwidthMbps != b.Points[i].BandwidthMbps {
+			t.Fatalf("trace diverges at point %d", i)
+		}
+	}
+}
+
+func TestCCAdversarySaveLoad(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	adv := NewCCAdversary(rng, DefaultCCAdversaryConfig())
+	path := filepath.Join(t.TempDir(), "cc.json")
+	if err := adv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCCAdversary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.BandwidthHi != adv.Cfg.BandwidthHi ||
+		loaded.Cfg.EpisodeSteps != adv.Cfg.EpisodeSteps ||
+		loaded.Cfg.MaxLogStd != adv.Cfg.MaxLogStd {
+		t.Fatal("config changed")
+	}
+	obs := []float64{0.5, 0.2}
+	a := adv.Policy.Mode(obs)
+	b := loaded.Policy.Mode(obs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("policy mode diverges after load")
+		}
+	}
+	if loaded.Policy.MaxLogStd != adv.Cfg.MaxLogStd {
+		t.Fatal("MaxLogStd not restored")
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	adv := NewCCAdversary(rng, DefaultCCAdversaryConfig())
+	path := filepath.Join(t.TempDir(), "cc.json")
+	if err := adv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadABRAdversary(path); err == nil {
+		t.Fatal("loaded a CC snapshot as an ABR adversary")
+	}
+	if _, err := LoadCCAdversary(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loaded a missing file")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"advnet/internal/abr"
+	"advnet/internal/mathx"
+	"advnet/internal/netem"
+	"advnet/internal/stats"
+	"advnet/internal/trace"
+)
+
+// The paper's Discussion (§5, "Guiding protocol development") envisions
+// continuous integration in which "using an adversary to create inputs that
+// cause the exact problem in question, instead of running a fixed set of
+// traces that caused problems in an earlier version of the code, would help
+// developers create a more robust fix." This file implements that harness:
+// a RegressionSuite records a protocol's QoE on adversarial traces (and can
+// re-run the adversary online), and Check fails when a later version of the
+// protocol regresses beyond a tolerance.
+
+// ABRRegressionSuite is a recorded performance baseline for one ABR protocol
+// on one adversarial workload.
+type ABRRegressionSuite struct {
+	ProtocolName string         `json:"protocol"`
+	Traces       *trace.Dataset `json:"traces"`
+	RTTSeconds   float64        `json:"rtt_seconds"`
+	// BaselineMeanQoE / BaselineP5QoE are the recorded per-video QoE
+	// statistics of the protocol version the suite was created with
+	// (chunk-indexed replay).
+	BaselineMeanQoE float64 `json:"baseline_mean_qoe"`
+	BaselineP5QoE   float64 `json:"baseline_p5_qoe"`
+}
+
+// NewABRRegressionSuite records a baseline: it evaluates the protocol on the
+// traces and stores the statistics.
+func NewABRRegressionSuite(video *abr.Video, p abr.Protocol, traces *trace.Dataset, rttS float64) *ABRRegressionSuite {
+	q := EvaluateABRChunked(video, traces, p, rttS)
+	return &ABRRegressionSuite{
+		ProtocolName:    p.Name(),
+		Traces:          traces,
+		RTTSeconds:      rttS,
+		BaselineMeanQoE: stats.Mean(q),
+		BaselineP5QoE:   stats.Percentile(q, 5),
+	}
+}
+
+// RegressionResult reports one check.
+type RegressionResult struct {
+	MeanQoE   float64
+	P5QoE     float64
+	MeanDelta float64 // current − baseline
+	P5Delta   float64
+	Passed    bool
+}
+
+// Check evaluates the (possibly modified) protocol against the recorded
+// traces and fails if its mean QoE fell more than tolerance below the
+// baseline. It returns the measurements either way.
+func (s *ABRRegressionSuite) Check(video *abr.Video, p abr.Protocol, tolerance float64) RegressionResult {
+	q := EvaluateABRChunked(video, s.Traces, p, s.RTTSeconds)
+	res := RegressionResult{
+		MeanQoE: stats.Mean(q),
+		P5QoE:   stats.Percentile(q, 5),
+	}
+	res.MeanDelta = res.MeanQoE - s.BaselineMeanQoE
+	res.P5Delta = res.P5QoE - s.BaselineP5QoE
+	res.Passed = res.MeanDelta >= -tolerance
+	return res
+}
+
+// Save writes the suite to disk.
+func (s *ABRRegressionSuite) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadABRRegressionSuite reads a suite previously written by Save.
+func LoadABRRegressionSuite(path string) (*ABRRegressionSuite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s ABRRegressionSuite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	if s.Traces == nil || len(s.Traces.Traces) == 0 {
+		return nil, fmt.Errorf("core: regression suite has no traces")
+	}
+	return &s, nil
+}
+
+// CCRegressionSuite is the congestion-control analogue: it holds a trained
+// adversary and the target's baseline utilization when the adversary runs
+// online against it. Persist the adversary itself with CCAdversary.Save and
+// rebuild the suite from it; the baseline re-derives deterministically from
+// the seed.
+type CCRegressionSuite struct {
+	ProtocolName string
+	Adversary    *CCAdversary
+	Episodes     int
+	BaselineUtil float64
+	Seed         uint64
+}
+
+// NewCCRegressionSuite records a baseline by running the adversary online
+// against the protocol for the given number of episodes.
+func NewCCRegressionSuite(name string, adv *CCAdversary, newCC func() netem.CongestionController, episodes int, seed uint64) *CCRegressionSuite {
+	s := &CCRegressionSuite{ProtocolName: name, Adversary: adv, Episodes: episodes, Seed: seed}
+	s.BaselineUtil = s.measure(newCC)
+	return s
+}
+
+func (s *CCRegressionSuite) measure(newCC func() netem.CongestionController) float64 {
+	var total float64
+	for ep := 0; ep < s.Episodes; ep++ {
+		records := s.Adversary.RunEpisode(newCC, mathx.NewRNG(s.Seed+uint64(ep)), true)
+		skip := len(records) / 3
+		var u float64
+		for _, r := range records[skip:] {
+			u += r.Utilization
+		}
+		total += u / float64(len(records)-skip)
+	}
+	return total / float64(s.Episodes)
+}
+
+// Check re-runs the adversary against the (possibly modified) protocol. It
+// passes when the protocol's utilization under attack did not fall more than
+// tolerance below the baseline — i.e., a previously-fixed weakness has not
+// regressed.
+func (s *CCRegressionSuite) Check(newCC func() netem.CongestionController, tolerance float64) (util float64, passed bool) {
+	util = s.measure(newCC)
+	return util, util >= s.BaselineUtil-tolerance
+}

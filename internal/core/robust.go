@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"advnet/internal/abr"
+	"advnet/internal/mathx"
+	"advnet/internal/rl"
+	"advnet/internal/trace"
+)
+
+// RobustTrainConfig parameterizes the §2.3 pipeline for making an RL-based
+// protocol robust: (1) train the protocol, (2) train an adversary against
+// it, (3) generate adversarial traces, (4) continue the protocol's training
+// with those traces mixed into its dataset.
+type RobustTrainConfig struct {
+	// TotalIterations is the protocol's total PPO iteration budget.
+	TotalIterations int
+	// InjectAtFrac is the fraction of TotalIterations after which the
+	// adversarial traces are injected (the paper evaluates 0.9 and 0.7).
+	// A value >= 1 (or <= 0) disables adversarial training entirely.
+	InjectAtFrac float64
+	// AdversarialTraces is the number of traces the adversary generates.
+	AdversarialTraces int
+	// AdvCfg and AdvOpt configure the adversary trained in step (2).
+	AdvCfg ABRAdversaryConfig
+	AdvOpt ABRTrainOptions
+	// RolloutSteps / LR configure the protocol's PPO.
+	RolloutSteps int
+	LR           float64
+	RTTSeconds   float64
+}
+
+// DefaultRobustTrainConfig returns a pipeline configuration sized for the
+// repository's experiments.
+func DefaultRobustTrainConfig() RobustTrainConfig {
+	return RobustTrainConfig{
+		TotalIterations:   40,
+		InjectAtFrac:      0.9,
+		AdversarialTraces: 40,
+		AdvCfg:            DefaultABRAdversaryConfig(),
+		AdvOpt:            DefaultABRTrainOptions(),
+		RolloutSteps:      1024,
+		LR:                1e-3,
+		RTTSeconds:        0.08,
+	}
+}
+
+// RobustTrainResult reports what the pipeline did.
+type RobustTrainResult struct {
+	Protocol          *abr.Pensieve
+	Adversary         *ABRAdversary // nil when adversarial training was disabled
+	AdversarialTraces *trace.Dataset
+	Phase1Iterations  int
+	Phase2Iterations  int
+}
+
+// TrainRobustPensieve runs the §2.3 pipeline: it trains a Pensieve-style
+// agent on dataset, pauses at InjectAtFrac of the iteration budget, trains
+// an ABR adversary against the partially-trained agent, generates
+// adversarial traces, and finishes training on the union of the original
+// dataset and the adversarial traces.
+func TrainRobustPensieve(video *abr.Video, dataset *trace.Dataset, cfg RobustTrainConfig, rng *mathx.RNG) (*RobustTrainResult, error) {
+	if cfg.TotalIterations <= 0 {
+		return nil, fmt.Errorf("core: TotalIterations=%d", cfg.TotalIterations)
+	}
+	levels := video.Levels()
+	policy := rl.NewCategoricalPolicy(abr.NewPensieveNet(rng, levels))
+	value := abr.NewPensieveValueNet(rng, levels)
+	pcfg := rl.DefaultPPOConfig()
+	pcfg.RolloutSteps = cfg.RolloutSteps
+	pcfg.LR = cfg.LR
+	ppo, err := rl.NewPPO(policy, value, pcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	phase1 := cfg.TotalIterations
+	adversarial := cfg.InjectAtFrac > 0 && cfg.InjectAtFrac < 1
+	if adversarial {
+		phase1 = int(float64(cfg.TotalIterations) * cfg.InjectAtFrac)
+		if phase1 < 1 {
+			phase1 = 1
+		}
+	}
+
+	// Step 1: train the protocol of interest.
+	env := abr.NewTrainEnv(video, dataset, abr.DefaultSessionConfig(), cfg.RTTSeconds, rng.Split())
+	ppo.Train(env, phase1)
+	agent := abr.NewPensieve(policy)
+
+	res := &RobustTrainResult{Protocol: agent, Phase1Iterations: phase1}
+	if !adversarial {
+		return res, nil
+	}
+
+	// Step 2: train an adversary against the partially-trained protocol.
+	adv, _, err := TrainABRAdversary(video, agent, cfg.AdvCfg, cfg.AdvOpt, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	res.Adversary = adv
+
+	// Step 3: use the trained adversary to generate traces.
+	advTraces := adv.GenerateTraces(video, agent, rng.Split(), cfg.AdversarialTraces, "adversarial")
+	res.AdversarialTraces = advTraces
+
+	// Step 4: continue training with the adversarial traces in the
+	// training dataset.
+	merged := dataset.Merge(advTraces)
+	env2 := abr.NewTrainEnv(video, merged, abr.DefaultSessionConfig(), cfg.RTTSeconds, rng.Split())
+	res.Phase2Iterations = cfg.TotalIterations - phase1
+	ppo.Train(env2, res.Phase2Iterations)
+	return res, nil
+}
+
+// EvaluateABR streams every trace of a dataset with the given protocol over
+// a wall-time trace replay and returns the per-video mean QoE values — the
+// unit Figures 1, 2 and 4 plot.
+func EvaluateABR(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, rttS float64) []float64 {
+	out := make([]float64, 0, len(dataset.Traces))
+	for _, tr := range dataset.Traces {
+		link := &abr.TraceLink{Trace: tr, RTTSeconds: rttS}
+		s := abr.RunSession(video, link, abr.DefaultSessionConfig(), p)
+		out = append(out, s.MeanQoE())
+	}
+	return out
+}
+
+// EvaluateABRChunked is EvaluateABR with chunk-indexed replay (chunk i is
+// downloaded at the trace's i-th bandwidth), the exact semantic of the
+// online adversary's per-chunk actions. Replaying an adversarial trace this
+// way against its own target reproduces the online episode exactly.
+func EvaluateABRChunked(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, rttS float64) []float64 {
+	out := make([]float64, 0, len(dataset.Traces))
+	for _, tr := range dataset.Traces {
+		link := abr.NewChunkLink(tr, rttS)
+		s := abr.RunSession(video, link, abr.DefaultSessionConfig(), p)
+		out = append(out, s.MeanQoE())
+	}
+	return out
+}

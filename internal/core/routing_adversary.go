@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+	"advnet/internal/routing"
+)
+
+// This file transposes the framework to the routing domain the paper
+// motivates (§1, §2.3 [26], §5): the adversary controls the *demand matrix*
+// a routing scheme must serve, and is rewarded — exactly in the shape of
+// Eq. 1 — by how much more congestion (max link utilization) the scheme
+// suffers than congestion-optimal routing would on the same demands, minus a
+// smoothness penalty on demand changes. Trivially hostile demands (so large
+// that even optimal routing saturates) earn nothing, because r_opt rises
+// with them too.
+
+// RoutingAdversaryConfig parameterizes the routing adversary.
+type RoutingAdversaryConfig struct {
+	// Pairs are the (src, dst) commodities whose rates the adversary sets.
+	Pairs [][2]int
+	// MaxRate caps each commodity's rate.
+	MaxRate float64
+	// Rounds is the episode length (demand matrices per episode).
+	Rounds int
+	// SmoothWeight penalizes mean |Δrate| between consecutive rounds.
+	SmoothWeight float64
+	Hidden       []int
+	InitLogStd   float64
+}
+
+// DefaultRoutingAdversaryConfig returns a configuration with the given
+// commodity pairs.
+func DefaultRoutingAdversaryConfig(pairs [][2]int) RoutingAdversaryConfig {
+	return RoutingAdversaryConfig{
+		Pairs:        pairs,
+		MaxRate:      1.0,
+		Rounds:       32,
+		SmoothWeight: 0.1,
+		Hidden:       []int{32, 16},
+		InitLogStd:   -0.5,
+	}
+}
+
+// RoutingEnv is the adversary environment: each step the adversary emits a
+// demand matrix, the target scheme routes it, and the reward is the MLU gap
+// to the oracle.
+type RoutingEnv struct {
+	cfg    RoutingAdversaryConfig
+	top    *routing.Topology
+	scheme routing.Scheme
+	oracle *routing.Oracle
+
+	round     int
+	lastRates []float64
+	lastUtil  []float64 // per-edge utilization of the scheme's last routing
+}
+
+// NewRoutingEnv builds an adversary environment against the given scheme.
+func NewRoutingEnv(top *routing.Topology, scheme routing.Scheme, cfg RoutingAdversaryConfig) *RoutingEnv {
+	if len(cfg.Pairs) == 0 {
+		panic("core: RoutingEnv with no commodity pairs")
+	}
+	return &RoutingEnv{
+		cfg:    cfg,
+		top:    top,
+		scheme: scheme,
+		oracle: routing.NewOracle(),
+	}
+}
+
+// Reset implements rl.Env.
+func (e *RoutingEnv) Reset() []float64 {
+	e.round = 0
+	e.lastRates = make([]float64, len(e.cfg.Pairs))
+	e.lastUtil = make([]float64, len(e.top.Edges))
+	return e.observation()
+}
+
+// observation is the per-edge utilization the scheme produced last round —
+// the routing analogue of "observing the protocol's behaviour".
+func (e *RoutingEnv) observation() []float64 {
+	return mathx.CopyOf(e.lastUtil)
+}
+
+// DecodeAction maps raw [-1,1] outputs to per-commodity rates.
+func (e *RoutingEnv) DecodeAction(raw []float64) routing.DemandMatrix {
+	d := make(routing.DemandMatrix, len(e.cfg.Pairs))
+	for i, p := range e.cfg.Pairs {
+		rate := (mathx.Clamp(raw[i], -1, 1) + 1) / 2 * e.cfg.MaxRate
+		d[i] = routing.Demand{Src: p[0], Dst: p[1], Rate: rate}
+	}
+	return d
+}
+
+// Step implements rl.Env.
+func (e *RoutingEnv) Step(raw []float64) ([]float64, float64, bool) {
+	d := e.DecodeAction(raw)
+
+	schemeRouting := e.scheme.Route(e.top, d)
+	schemeMLU := routing.MLU(e.top, schemeRouting)
+	optMLU := routing.MLU(e.top, e.oracle.Route(e.top, d))
+
+	var smooth float64
+	for i, dem := range d {
+		smooth += math.Abs(dem.Rate-e.lastRates[i]) / e.cfg.MaxRate
+		e.lastRates[i] = dem.Rate
+	}
+	smooth /= float64(len(d))
+
+	reward := schemeMLU - optMLU - e.cfg.SmoothWeight*smooth
+
+	loads := schemeRouting.EdgeLoads(len(e.top.Edges))
+	for ei := range e.lastUtil {
+		e.lastUtil[ei] = loads[ei] / e.top.Edges[ei].Capacity
+	}
+
+	e.round++
+	return e.observation(), reward, e.round >= e.cfg.Rounds
+}
+
+// ObservationSize implements rl.Env.
+func (e *RoutingEnv) ObservationSize() int { return len(e.top.Edges) }
+
+// ActionSpec implements rl.Env.
+func (e *RoutingEnv) ActionSpec() rl.ActionSpec {
+	n := len(e.cfg.Pairs)
+	low := make([]float64, n)
+	high := make([]float64, n)
+	for i := range low {
+		low[i], high[i] = -1, 1
+	}
+	return rl.ActionSpec{Dim: n, Low: low, High: high}
+}
+
+// RoutingAdversary is a trained demand-matrix adversary.
+type RoutingAdversary struct {
+	Policy *rl.GaussianPolicy
+	Cfg    RoutingAdversaryConfig
+}
+
+// NewRoutingAdversary builds an untrained adversary for a topology.
+func NewRoutingAdversary(rng *mathx.RNG, top *routing.Topology, cfg RoutingAdversaryConfig) *RoutingAdversary {
+	sizes := append([]int{len(top.Edges)}, cfg.Hidden...)
+	sizes = append(sizes, len(cfg.Pairs))
+	net := nn.NewMLP(rng, sizes, nn.Tanh)
+	return &RoutingAdversary{Policy: rl.NewGaussianPolicy(net, cfg.InitLogStd), Cfg: cfg}
+}
+
+// TrainRoutingAdversary trains an adversary against a routing scheme.
+func TrainRoutingAdversary(top *routing.Topology, scheme routing.Scheme, cfg RoutingAdversaryConfig, opt ABRTrainOptions, rng *mathx.RNG) (*RoutingAdversary, []rl.IterStats, error) {
+	adv := NewRoutingAdversary(rng, top, cfg)
+	valueSizes := append([]int{len(top.Edges)}, cfg.Hidden...)
+	valueSizes = append(valueSizes, 1)
+	value := nn.NewMLP(rng, valueSizes, nn.Tanh)
+
+	pcfg := rl.DefaultPPOConfig()
+	pcfg.RolloutSteps = opt.RolloutSteps
+	pcfg.LR = opt.LR
+	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := NewRoutingEnv(top, scheme, cfg)
+	stats := ppo.Train(env, opt.Iterations)
+	return adv, stats, nil
+}
+
+// GenerateDemands runs one deterministic episode against the scheme and
+// returns the sequence of demand matrices the adversary emitted.
+func (a *RoutingAdversary) GenerateDemands(top *routing.Topology, scheme routing.Scheme) []routing.DemandMatrix {
+	env := NewRoutingEnv(top, scheme, a.Cfg)
+	obs := env.Reset()
+	var out []routing.DemandMatrix
+	for {
+		action := a.Policy.Mode(obs)
+		out = append(out, env.DecodeAction(action))
+		next, _, done := env.Step(action)
+		obs = next
+		if done {
+			break
+		}
+	}
+	return out
+}
+
+// AllPairsSample returns up to k distinct (src, dst) pairs drawn from the
+// topology, a convenient commodity set for adversary configurations.
+func AllPairsSample(rng *mathx.RNG, top *routing.Topology, k int) [][2]int {
+	var pairs [][2]int
+	seen := map[[2]int]bool{}
+	for len(pairs) < k {
+		a := rng.Intn(top.N)
+		b := rng.Intn(top.N)
+		if a == b {
+			continue
+		}
+		p := [2]int{a, b}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pairs = append(pairs, p)
+	}
+	return pairs
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"advnet/internal/abr"
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+	"advnet/internal/trace"
+)
+
+// This file implements the *trace-based* adversary of §2.1: instead of
+// reacting to the protocol online, it "generates an entire trace ... as a
+// single output, and is evaluated by running the target protocol on that
+// trace". The paper notes its trade-offs — trivially reproducible output,
+// but far slower training because each whole trace is a single data point —
+// and chooses online adversaries for the evaluation; we implement both so
+// the trade-off is measurable (see AblationOnlineVsTraceBased).
+
+// TraceAdversaryConfig parameterizes the trace-based video adversary.
+type TraceAdversaryConfig struct {
+	BandwidthLo  float64
+	BandwidthHi  float64
+	SmoothWeight float64
+	RTTSeconds   float64
+	// InitLogStd is the exploration scale over the per-chunk bandwidths.
+	InitLogStd float64
+}
+
+// DefaultTraceAdversaryConfig mirrors the online adversary's action space.
+func DefaultTraceAdversaryConfig() TraceAdversaryConfig {
+	return TraceAdversaryConfig{
+		BandwidthLo:  0.8,
+		BandwidthHi:  4.8,
+		SmoothWeight: 1.0,
+		RTTSeconds:   0.08,
+		InitLogStd:   -0.5,
+	}
+}
+
+// TraceAdversary emits a whole bandwidth trace in one shot. The policy is a
+// state-independent diagonal Gaussian over the per-chunk bandwidths (the
+// observation is a constant, so the "network" degenerates to a learned mean
+// vector — the natural parameterization of a distribution over traces).
+type TraceAdversary struct {
+	Policy *rl.GaussianPolicy
+	Cfg    TraceAdversaryConfig
+	Chunks int
+}
+
+// NewTraceAdversary builds an untrained trace-based adversary for videos
+// with the given number of chunks.
+func NewTraceAdversary(rng *mathx.RNG, chunks int, cfg TraceAdversaryConfig) *TraceAdversary {
+	// A single linear layer from a constant input: the bias vector *is*
+	// the trace mean.
+	net := nn.NewMLP(rng, []int{1, chunks}, nn.Identity)
+	return &TraceAdversary{
+		Policy: rl.NewGaussianPolicy(net, cfg.InitLogStd),
+		Cfg:    cfg,
+		Chunks: chunks,
+	}
+}
+
+// mapBandwidth converts one raw action coordinate to Mbps.
+func (a *TraceAdversary) mapBandwidth(raw float64) float64 {
+	x := mathx.Clamp(raw, -1, 1)
+	return a.Cfg.BandwidthLo + (a.Cfg.BandwidthHi-a.Cfg.BandwidthLo)*(x+1)/2
+}
+
+// traceEnv is the one-step episode: the action is the whole trace; the
+// reward is total regret minus total smoothing penalty.
+type traceEnv struct {
+	adv    *TraceAdversary
+	video  *abr.Video
+	target abr.Protocol
+}
+
+func (e *traceEnv) Reset() []float64 { return []float64{1} }
+
+func (e *traceEnv) Step(action []float64) ([]float64, float64, bool) {
+	bw := make([]float64, e.adv.Chunks)
+	for i := range bw {
+		bw[i] = e.adv.mapBandwidth(action[i])
+	}
+	// Run the target over the trace (chunk-indexed semantics).
+	link := &abr.ChunkLink{Bandwidths: bw, RTTSeconds: e.adv.Cfg.RTTSeconds}
+	session := abr.RunSession(e.video, link, abr.DefaultSessionConfig(), e.target)
+
+	oracle := abr.NewOfflineOptimal()
+	oracle.RTTSeconds = e.adv.Cfg.RTTSeconds
+	_, optQoE := oracle.Solve(e.video, bw)
+
+	smooth := 0.0
+	for i := 1; i < len(bw); i++ {
+		smooth += math.Abs(bw[i] - bw[i-1])
+	}
+	reward := optQoE - session.TotalQoE() - e.adv.Cfg.SmoothWeight*smooth
+	return []float64{1}, reward, true
+}
+
+func (e *traceEnv) ObservationSize() int { return 1 }
+
+func (e *traceEnv) ActionSpec() rl.ActionSpec {
+	low := make([]float64, e.adv.Chunks)
+	high := make([]float64, e.adv.Chunks)
+	for i := range low {
+		low[i], high[i] = -1, 1
+	}
+	return rl.ActionSpec{Dim: e.adv.Chunks, Low: low, High: high}
+}
+
+// TraceTrainOptions controls trace-based adversary training.
+type TraceTrainOptions struct {
+	Iterations   int
+	RolloutSteps int // whole traces evaluated per iteration
+	LR           float64
+}
+
+// DefaultTraceTrainOptions returns defaults; note each rollout step costs a
+// full video simulation plus an offline-optimal solve, which is why §2.1
+// calls this approach slow.
+func DefaultTraceTrainOptions() TraceTrainOptions {
+	return TraceTrainOptions{Iterations: 40, RolloutSteps: 64, LR: 3e-3}
+}
+
+// TrainTraceAdversary trains a trace-based adversary against the target and
+// returns it with the training statistics.
+func TrainTraceAdversary(video *abr.Video, target abr.Protocol, cfg TraceAdversaryConfig, opt TraceTrainOptions, rng *mathx.RNG) (*TraceAdversary, []rl.IterStats, error) {
+	adv := NewTraceAdversary(rng, video.NumChunks(), cfg)
+	value := nn.NewMLP(rng, []int{1, 4, 1}, nn.Tanh)
+	pcfg := rl.DefaultPPOConfig()
+	pcfg.RolloutSteps = opt.RolloutSteps
+	pcfg.MinibatchSize = 16
+	pcfg.LR = opt.LR
+	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := &traceEnv{adv: adv, video: video, target: target}
+	stats := ppo.Train(env, opt.Iterations)
+	return adv, stats, nil
+}
+
+// GenerateTrace samples one trace (stochastic) or emits the mean trace
+// (deterministic).
+func (a *TraceAdversary) GenerateTrace(rng *mathx.RNG, stochastic bool, name string) *trace.Trace {
+	obs := []float64{1}
+	var action []float64
+	if stochastic {
+		action, _ = a.Policy.Sample(rng, obs)
+	} else {
+		action = a.Policy.Mode(obs)
+	}
+	tr := &trace.Trace{Name: name}
+	for i := 0; i < a.Chunks; i++ {
+		tr.Points = append(tr.Points, trace.Point{
+			Duration:      4,
+			BandwidthMbps: a.mapBandwidth(action[i]),
+			LatencyMs:     a.Cfg.RTTSeconds * 1000 / 2,
+		})
+	}
+	return tr
+}
+
+// GenerateTraces samples n traces.
+func (a *TraceAdversary) GenerateTraces(rng *mathx.RNG, n int, name string) *trace.Dataset {
+	d := &trace.Dataset{Name: name}
+	for i := 0; i < n; i++ {
+		d.Traces = append(d.Traces, a.GenerateTrace(rng, true, fmt.Sprintf("%s-%03d", name, i)))
+	}
+	return d
+}

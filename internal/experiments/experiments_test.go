@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests; the full shapes
+// are validated by the benchmark harness (bench_test.go) at larger budgets.
+func tiny() Config {
+	return Config{
+		Seed:          1,
+		Traces:        6,
+		PensieveIters: 3,
+		ABRAdvIters:   3,
+		CCAdvIters:    3,
+		RobustIters:   4,
+		RobustTraces:  3,
+		DatasetSize:   6,
+		Restarts:      1,
+		Fig4Seeds:     1,
+		RTTSeconds:    0.08,
+	}
+}
+
+func TestTable1WithinRanges(t *testing.T) {
+	res := Table1(tiny())
+	for i, r := range res.Ranges {
+		if res.Observed[i][0] < r[0]-1e-9 || res.Observed[i][1] > r[1]+1e-9 {
+			t.Fatalf("observed %v escapes range %v", res.Observed[i], r)
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "6-24 Mbps") || !strings.Contains(out, "15-60 ms") {
+		t.Fatalf("Table 1 rendering:\n%s", out)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res := Figure3(tiny())
+	if res.BBSwitches <= res.OptSwitches {
+		t.Fatalf("BB switches %d <= optimal %d", res.BBSwitches, res.OptSwitches)
+	}
+	if res.OptTotalQoE <= res.BBTotalQoE {
+		t.Fatal("no optimality headroom on the adversarial trace")
+	}
+	if res.InBandFraction < 0.7 {
+		t.Fatalf("buffer in band only %v", res.InBandFraction)
+	}
+	if !strings.Contains(res.String(), "bitrate selection, BB") {
+		t.Fatal("rendering incomplete")
+	}
+	if len(res.Times) != len(res.BBKbps) || len(res.BBKbps) != len(res.OptKbps) {
+		t.Fatal("series lengths differ")
+	}
+}
+
+func TestFigure1And2Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	res, err := Figure1And2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 3 {
+		t.Fatalf("%d trace sets", len(res.Sets))
+	}
+	for _, set := range res.Sets {
+		for name, q := range set.QoE {
+			if len(q) != tiny().Traces {
+				t.Fatalf("%s/%s has %d values", set.TraceSet, name, len(q))
+			}
+			for _, v := range q {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s/%s QoE %v", set.TraceSet, name, v)
+				}
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 2") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestFigure4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	res, err := Figure4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		for _, v := range []float64{c.MeanNoAdv, c.MeanAdv90, c.MeanAdv70, c.P5NoAdv, c.P5Adv90, c.P5Adv70} {
+			if math.IsNaN(v) {
+				t.Fatalf("NaN in cell %+v", c)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "adv@90%") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestFigure5And6Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	res, err := Figure5And6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BenignUtil < 0.85 {
+		t.Fatalf("benign BBR utilization %v", res.BenignUtil)
+	}
+	if len(res.DetBandwidth) == 0 || len(res.DetBandwidth) != len(res.DetLatency) {
+		t.Fatal("deterministic series missing")
+	}
+	for _, v := range res.DetLoss {
+		if v < 0 || v > 0.1 {
+			t.Fatalf("loss action %v outside Table 1", v)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestReplayFidelityExact(t *testing.T) {
+	res := AblationReplayFidelity(tiny())
+	if math.Abs(res.OnlineQoE-res.ChunkReplayQoE) > 1e-9 {
+		t.Fatalf("chunk replay %v != online %v", res.ChunkReplayQoE, res.OnlineQoE)
+	}
+	if res.OtherProtocolOn <= res.OnlineQoE {
+		t.Fatalf("MPC (%v) should beat BB (%v) on BB's adversarial traces",
+			res.OtherProtocolOn, res.OnlineQoE)
+	}
+}
+
+func TestResultRenderings(t *testing.T) {
+	// Every result type must render its figure label and key fields.
+	fig4 := &Fig4Result{Cells: []Fig4Cell{{Train: "broadband", Test: "3g", MeanNoAdv: 1, P5NoAdv: -1}}}
+	if out := fig4.String(); !strings.Contains(out, "broadband") || !strings.Contains(out, "Figure 4") {
+		t.Fatalf("Fig4 rendering:\n%s", out)
+	}
+	fig56 := &Fig56Result{
+		MeanUtil: 0.3, BenignUtil: 0.95, ScriptedUtil: 0.6,
+		ThroughputMbps: []float64{1, 2}, BandwidthMbps: []float64{10, 12},
+		DetBandwidth: []float64{10}, DetLatency: []float64{20}, DetLoss: []float64{0},
+		ProbeActionDelta: 0.04, SteadyActionDelta: 0.02, MeanDetLoss: 0.01,
+	}
+	if out := fig56.String(); !strings.Contains(out, "Figure 5") || !strings.Contains(out, "Figure 6") ||
+		!strings.Contains(out, "scripted probe attacker: 60%") {
+		t.Fatalf("Fig56 rendering:\n%s", out)
+	}
+	routing := &RoutingExtensionResult{SPFMLU: 2, ECMPMLU: 1.5, OracleMLU: 1.4, TrainGain: 0.2}
+	if out := routing.String(); !strings.Contains(out, "SPF 2.000") {
+		t.Fatalf("routing rendering:\n%s", out)
+	}
+}
+
+func TestExtensionRoutingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	res, err := ExtensionRouting(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SPFMLU < res.OracleMLU-1e-9 {
+		t.Fatalf("SPF MLU %v below oracle %v", res.SPFMLU, res.OracleMLU)
+	}
+}

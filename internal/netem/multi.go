@@ -1,0 +1,261 @@
+package netem
+
+import (
+	"container/heap"
+	"math"
+
+	"advnet/internal/mathx"
+)
+
+// MultiEmulator extends the single-sender emulator to several congestion
+// controllers sharing one bottleneck queue — the substrate for fairness
+// scenarios and for the §5-style adversarial goals (e.g. maximizing the
+// congestion several competing flows inflict on each other). The link model
+// is identical to Emulator's: droptail queue, serialized service at the
+// configured rate, symmetric propagation delay, Bernoulli random loss.
+type MultiEmulator struct {
+	flows []*flowState
+	rng   *mathx.RNG
+	cond  Conditions
+	cfg   Config
+
+	now     float64
+	events  eventHeap
+	eventID int64
+
+	queue []multiPacket
+	busy  bool
+
+	stats    Stats
+	flowBits []float64 // delivered bits per flow
+}
+
+type flowState struct {
+	cc          CongestionController
+	inflight    map[int64]float64
+	nextSeq     int64
+	nextSendAt  float64
+	rtoDeadline float64
+	srtt        float64
+}
+
+type multiPacket struct {
+	flow int
+	seq  int64
+}
+
+// NewMulti creates an emulator shared by the given controllers.
+func NewMulti(ccs []CongestionController, cfg Config, rng *mathx.RNG) *MultiEmulator {
+	if len(ccs) == 0 {
+		panic("netem: NewMulti with no flows")
+	}
+	if cfg.QueuePackets <= 0 {
+		cfg.QueuePackets = 64
+	}
+	m := &MultiEmulator{
+		rng:      rng,
+		cond:     cfg.Initial,
+		cfg:      cfg,
+		flowBits: make([]float64, len(ccs)),
+	}
+	for i, cc := range ccs {
+		m.flows = append(m.flows, &flowState{cc: cc, inflight: make(map[int64]float64)})
+		m.schedule(0, evSend, int64(i))
+	}
+	return m
+}
+
+// Now returns the current virtual time.
+func (m *MultiEmulator) Now() float64 { return m.now }
+
+// Stats returns the aggregate counters.
+func (m *MultiEmulator) Stats() Stats { return m.stats }
+
+// FlowDeliveredBits returns the bits delivered through the bottleneck for
+// one flow.
+func (m *MultiEmulator) FlowDeliveredBits(i int) float64 { return m.flowBits[i] }
+
+// SetConditions changes the shared link parameters.
+func (m *MultiEmulator) SetConditions(c Conditions) {
+	if c.BandwidthMbps <= 0 || c.OneWayDelayMs < 0 || c.LossRate < 0 || c.LossRate > 1 {
+		panic("netem: invalid conditions")
+	}
+	m.cond = c
+}
+
+// QueueingDelay returns the current drain time of the shared queue.
+func (m *MultiEmulator) QueueingDelay() float64 {
+	return float64(len(m.queue)) * PacketBits / (m.cond.BandwidthMbps * 1e6)
+}
+
+func (m *MultiEmulator) schedule(at float64, kind eventKind, seq int64) {
+	m.eventID++
+	heap.Push(&m.events, event{at: at, kind: kind, seq: seq, id: m.eventID})
+}
+
+// Run advances virtual time to the given instant. Event seq encoding: for
+// evSend and evRTO, seq is the flow index; for evAckArrive it is
+// flow*1<<40 + packet seq.
+func (m *MultiEmulator) Run(until float64) {
+	for len(m.events) > 0 && m.events.peek().at <= until {
+		ev := heap.Pop(&m.events).(event)
+		if ev.at > m.now {
+			m.now = ev.at
+		}
+		switch ev.kind {
+		case evSend:
+			m.handleSend(int(ev.seq))
+		case evDequeue:
+			m.handleDequeue()
+		case evAckArrive:
+			m.handleAck(int(ev.seq>>40), ev.seq&((1<<40)-1))
+		case evRTO:
+			m.handleRTO(int(ev.seq), ev.at)
+		}
+	}
+	if until > m.now {
+		m.now = until
+	}
+}
+
+func (m *MultiEmulator) handleSend(fi int) {
+	f := m.flows[fi]
+	cwnd := f.cc.CWND(m.now)
+	rate := f.cc.PacingRate(m.now)
+	if rate <= 0 {
+		rate = PacketBits
+	}
+	sent := false
+	for float64(len(f.inflight)) < cwnd && m.now >= f.nextSendAt-1e-12 {
+		m.sendPacket(fi)
+		// ±5% pacing jitter models sender-side OS scheduling noise and,
+		// crucially, breaks the deterministic phase lock that would
+		// otherwise let one of two identically-paced flows always reach
+		// the droptail queue first.
+		f.nextSendAt = m.now + PacketBits/rate*m.rng.Uniform(0.95, 1.05)
+		sent = true
+	}
+	var next float64
+	if sent || float64(len(f.inflight)) < cwnd {
+		next = math.Max(f.nextSendAt, m.now+1e-6)
+	} else {
+		next = m.now + 0.001
+	}
+	m.schedule(next, evSend, int64(fi))
+}
+
+func (m *MultiEmulator) sendPacket(fi int) {
+	f := m.flows[fi]
+	seq := f.nextSeq
+	f.nextSeq++
+	f.inflight[seq] = m.now
+	m.stats.Sent++
+	f.cc.OnPacketSent(m.now, seq)
+	if len(f.inflight) == 1 {
+		m.armRTO(fi)
+	}
+	if m.rng.Bernoulli(m.cond.LossRate) {
+		m.stats.DroppedRandom++
+		return
+	}
+	if len(m.queue) >= m.cfg.QueuePackets {
+		m.stats.DroppedTail++
+		return
+	}
+	m.queue = append(m.queue, multiPacket{flow: fi, seq: seq})
+	if !m.busy {
+		m.startService()
+	}
+}
+
+func (m *MultiEmulator) startService() {
+	m.busy = true
+	service := PacketBits / (m.cond.BandwidthMbps * 1e6)
+	m.schedule(m.now+service, evDequeue, 0)
+}
+
+func (m *MultiEmulator) handleDequeue() {
+	if len(m.queue) == 0 {
+		m.busy = false
+		return
+	}
+	pkt := m.queue[0]
+	m.queue = m.queue[1:]
+	m.stats.DeliveredPkts++
+	m.stats.DeliveredBits += PacketBits
+	m.flowBits[pkt.flow] += PacketBits
+	ackAt := m.now + 2*m.cond.OneWayDelayMs/1000
+	m.schedule(ackAt, evAckArrive, int64(pkt.flow)<<40|pkt.seq)
+	if len(m.queue) > 0 {
+		m.startService()
+	} else {
+		m.busy = false
+	}
+}
+
+func (m *MultiEmulator) handleAck(fi int, seq int64) {
+	f := m.flows[fi]
+	sentAt, ok := f.inflight[seq]
+	if !ok {
+		return
+	}
+	delete(f.inflight, seq)
+	rtt := m.now - sentAt
+	if f.srtt == 0 {
+		f.srtt = rtt
+	} else {
+		f.srtt = 0.875*f.srtt + 0.125*rtt
+	}
+	for s := range f.inflight {
+		if s < seq {
+			delete(f.inflight, s)
+			m.stats.LossesSignaled++
+			f.cc.OnLoss(m.now, s)
+		}
+	}
+	f.cc.OnAck(Ack{Seq: seq, Now: m.now, RTT: rtt})
+	m.armRTO(fi)
+}
+
+func (m *MultiEmulator) rto(f *flowState) float64 {
+	if m.cfg.RTOSeconds > 0 {
+		return m.cfg.RTOSeconds
+	}
+	if f.srtt > 0 {
+		return math.Max(1.0, 4*f.srtt)
+	}
+	return 1.0
+}
+
+func (m *MultiEmulator) armRTO(fi int) {
+	f := m.flows[fi]
+	f.rtoDeadline = m.now + m.rto(f)
+	m.schedule(f.rtoDeadline, evRTO, int64(fi))
+}
+
+func (m *MultiEmulator) handleRTO(fi int, at float64) {
+	f := m.flows[fi]
+	if at < f.rtoDeadline-1e-9 || len(f.inflight) == 0 {
+		return
+	}
+	for s := range f.inflight {
+		delete(f.inflight, s)
+	}
+	m.stats.Timeouts++
+	f.cc.OnTimeout(m.now)
+}
+
+// JainFairness computes Jain's fairness index over the per-flow delivered
+// bits: 1 is perfectly fair, 1/n maximally unfair.
+func (m *MultiEmulator) JainFairness() float64 {
+	var sum, sumSq float64
+	for _, x := range m.flowBits {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(m.flowBits))
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (n * sumSq)
+}

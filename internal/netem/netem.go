@@ -1,0 +1,396 @@
+// Package netem is a packet-granularity, event-driven emulator of a single
+// bottleneck link in virtual time — the repository's stand-in for the
+// modified Mahimahi [18] the paper uses for its congestion-control study
+// (§4). It models a droptail queue served at a configurable (and
+// adversary-mutable) rate, symmetric propagation delay, and Bernoulli random
+// loss. Unlike Mahimahi, virtual time makes runs deterministic and much
+// faster than real time; the paper notes Mahimahi's wall-clock timing is not
+// reproducible, which our substitution deliberately fixes.
+package netem
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"advnet/internal/mathx"
+)
+
+// PacketBits is the size of every data packet (1500 bytes).
+const PacketBits = 12000
+
+// Ack is the feedback delivered to the congestion controller when a data
+// packet is acknowledged.
+type Ack struct {
+	Seq int64
+	Now float64 // virtual time the ack reached the sender
+	RTT float64 // measured round-trip time of the acked packet
+}
+
+// CongestionController is the sender-side algorithm under test. The emulator
+// paces packets at PacingRate subject to a congestion window of CWND packets
+// in flight, and reports acks, losses and timeouts.
+type CongestionController interface {
+	// PacingRate returns the target sending rate in bits per second.
+	PacingRate(now float64) float64
+	// CWND returns the congestion window in packets.
+	CWND(now float64) float64
+	// OnPacketSent notifies that seq left the sender.
+	OnPacketSent(now float64, seq int64)
+	// OnAck delivers an acknowledgment.
+	OnAck(a Ack)
+	// OnLoss reports that seq was declared lost (gap-detected).
+	OnLoss(now float64, seq int64)
+	// OnTimeout reports a retransmission timeout; all in-flight data was
+	// declared lost.
+	OnTimeout(now float64)
+}
+
+// Conditions are the link parameters in force at a moment in time — exactly
+// the tuple the paper's congestion-control adversary outputs every 30 ms.
+type Conditions struct {
+	BandwidthMbps float64
+	OneWayDelayMs float64
+	LossRate      float64
+}
+
+// Config parameterizes an emulator.
+type Config struct {
+	Initial      Conditions
+	QueuePackets int // droptail capacity; 0 means 64
+	RTOSeconds   float64
+	// RTO; 0 means max(1s, 4 * srtt) with srtt tracked internally
+}
+
+// Stats accumulates link-level counters.
+type Stats struct {
+	Sent           int64
+	DeliveredPkts  int64
+	DeliveredBits  float64
+	DroppedRandom  int64
+	DroppedTail    int64
+	LossesSignaled int64
+	Timeouts       int64
+}
+
+type eventKind int
+
+const (
+	evSend eventKind = iota
+	evDequeue
+	evAckArrive
+	evRTO
+)
+
+type event struct {
+	at   float64
+	kind eventKind
+	seq  int64
+	id   int64 // tiebreaker for deterministic ordering
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+type queuedPacket struct {
+	seq    int64
+	sentAt float64
+}
+
+// Emulator drives one congestion controller over one emulated link.
+type Emulator struct {
+	cc   CongestionController
+	rng  *mathx.RNG
+	cond Conditions
+	cfg  Config
+
+	now     float64
+	events  eventHeap
+	eventID int64
+
+	queue     []queuedPacket
+	busy      bool // bottleneck serializing a packet
+	nextSeq   int64
+	inflight  map[int64]float64 // seq -> sentAt
+	highAcked int64             // highest acked seq (-1 initially)
+
+	nextSendAt  float64
+	rtoDeadline float64
+	srtt        float64
+
+	stats Stats
+}
+
+// New creates an emulator around cc. rng drives random loss only.
+func New(cc CongestionController, cfg Config, rng *mathx.RNG) *Emulator {
+	if cfg.QueuePackets <= 0 {
+		cfg.QueuePackets = 64
+	}
+	e := &Emulator{
+		cc:        cc,
+		rng:       rng,
+		cond:      cfg.Initial,
+		cfg:       cfg,
+		inflight:  make(map[int64]float64),
+		highAcked: -1,
+	}
+	e.schedule(0, evSend, 0)
+	return e
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Emulator) Now() float64 { return e.now }
+
+// Stats returns a copy of the accumulated counters.
+func (e *Emulator) Stats() Stats { return e.stats }
+
+// Conditions returns the link parameters currently in force.
+func (e *Emulator) Conditions() Conditions { return e.cond }
+
+// SetConditions changes the link parameters, taking effect for packets
+// serviced from now on (the adversary's action application point).
+func (e *Emulator) SetConditions(c Conditions) {
+	if c.BandwidthMbps <= 0 {
+		panic(fmt.Sprintf("netem: bandwidth %v", c.BandwidthMbps))
+	}
+	if c.OneWayDelayMs < 0 || c.LossRate < 0 || c.LossRate > 1 {
+		panic("netem: invalid conditions")
+	}
+	e.cond = c
+}
+
+// QueueDepth returns the number of packets waiting or in service.
+func (e *Emulator) QueueDepth() int { return len(e.queue) }
+
+// QueueingDelay returns the time a packet entering the queue now would wait
+// before being serviced, in seconds.
+func (e *Emulator) QueueingDelay() float64 {
+	return float64(len(e.queue)) * PacketBits / (e.cond.BandwidthMbps * 1e6)
+}
+
+// Inflight returns the number of unacknowledged packets.
+func (e *Emulator) Inflight() int { return len(e.inflight) }
+
+// HighestAcked returns the highest acknowledged sequence number, or -1
+// before any ack — a cheap progress indicator for diagnostics.
+func (e *Emulator) HighestAcked() int64 { return e.highAcked }
+
+func (e *Emulator) schedule(at float64, kind eventKind, seq int64) {
+	e.eventID++
+	heap.Push(&e.events, event{at: at, kind: kind, seq: seq, id: e.eventID})
+}
+
+// Run advances virtual time until the given instant, processing all events.
+func (e *Emulator) Run(until float64) {
+	for len(e.events) > 0 && e.events.peek().at <= until {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		switch ev.kind {
+		case evSend:
+			e.handleSend()
+		case evDequeue:
+			e.handleDequeue()
+		case evAckArrive:
+			e.handleAck(ev.seq)
+		case evRTO:
+			e.handleRTO(ev.at)
+		}
+	}
+	if until > e.now {
+		e.now = until
+	}
+	// Keep the pacing clock alive past idle periods.
+	if e.pendingSendEvents() == 0 {
+		e.schedule(math.Max(e.now, e.nextSendAt), evSend, 0)
+	}
+}
+
+func (e *Emulator) pendingSendEvents() int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.kind == evSend {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Emulator) handleSend() {
+	cwnd := e.cc.CWND(e.now)
+	rate := e.cc.PacingRate(e.now)
+	if rate <= 0 {
+		rate = PacketBits // 12 kbit/s floor keeps the clock ticking
+	}
+	sent := false
+	for float64(len(e.inflight)) < cwnd && e.now >= e.nextSendAt-1e-12 {
+		e.sendPacket()
+		e.nextSendAt = e.now + PacketBits/rate
+		sent = true
+	}
+	var next float64
+	if sent || float64(len(e.inflight)) < cwnd {
+		next = math.Max(e.nextSendAt, e.now+1e-6)
+	} else {
+		// cwnd-limited: poll again shortly; acks also trigger sends.
+		next = e.now + 0.001
+	}
+	e.schedule(next, evSend, 0)
+}
+
+func (e *Emulator) sendPacket() {
+	seq := e.nextSeq
+	e.nextSeq++
+	e.inflight[seq] = e.now
+	e.stats.Sent++
+	e.cc.OnPacketSent(e.now, seq)
+	if len(e.inflight) == 1 {
+		e.armRTO() // first outstanding packet starts the timer
+	}
+
+	// Random loss is applied at the link entrance.
+	if e.rng.Bernoulli(e.cond.LossRate) {
+		e.stats.DroppedRandom++
+		return
+	}
+	if len(e.queue) >= e.cfg.QueuePackets {
+		e.stats.DroppedTail++
+		return
+	}
+	e.queue = append(e.queue, queuedPacket{seq: seq, sentAt: e.now})
+	if !e.busy {
+		e.startService()
+	}
+}
+
+func (e *Emulator) startService() {
+	e.busy = true
+	service := PacketBits / (e.cond.BandwidthMbps * 1e6)
+	e.schedule(e.now+service, evDequeue, 0)
+}
+
+func (e *Emulator) handleDequeue() {
+	if len(e.queue) == 0 {
+		e.busy = false
+		return
+	}
+	pkt := e.queue[0]
+	e.queue = e.queue[1:]
+	e.stats.DeliveredPkts++
+	e.stats.DeliveredBits += PacketBits
+	// One-way delay to the receiver plus the (uncongested) ack path back.
+	ackAt := e.now + 2*e.cond.OneWayDelayMs/1000
+	e.schedule(ackAt, evAckArrive, pkt.seq)
+	if len(e.queue) > 0 {
+		e.startService()
+	} else {
+		e.busy = false
+	}
+}
+
+func (e *Emulator) handleAck(seq int64) {
+	sentAt, ok := e.inflight[seq]
+	if !ok {
+		return // already declared lost by RTO
+	}
+	delete(e.inflight, seq)
+	rtt := e.now - sentAt
+	if e.srtt == 0 {
+		e.srtt = rtt
+	} else {
+		e.srtt = 0.875*e.srtt + 0.125*rtt
+	}
+
+	// In-order link: any unacked packet with a lower sequence was dropped.
+	for s, st := range e.inflight {
+		if s < seq {
+			_ = st
+			delete(e.inflight, s)
+			e.stats.LossesSignaled++
+			e.cc.OnLoss(e.now, s)
+		}
+	}
+	if seq > e.highAcked {
+		e.highAcked = seq
+	}
+	e.cc.OnAck(Ack{Seq: seq, Now: e.now, RTT: rtt})
+	e.armRTO()
+	// The pacing clock polls at millisecond granularity while
+	// cwnd-limited, so a freed window is picked up promptly without
+	// scheduling extra send events here (exactly one evSend is
+	// outstanding at any time).
+}
+
+func (e *Emulator) rto() float64 {
+	if e.cfg.RTOSeconds > 0 {
+		return e.cfg.RTOSeconds
+	}
+	if e.srtt > 0 {
+		return math.Max(1.0, 4*e.srtt)
+	}
+	return 1.0
+}
+
+func (e *Emulator) armRTO() {
+	e.rtoDeadline = e.now + e.rto()
+	e.schedule(e.rtoDeadline, evRTO, 0)
+}
+
+func (e *Emulator) handleRTO(at float64) {
+	// Stale timer (re-armed since it was scheduled)?
+	if at < e.rtoDeadline-1e-9 {
+		return
+	}
+	if len(e.inflight) == 0 {
+		return
+	}
+	for s := range e.inflight {
+		delete(e.inflight, s)
+	}
+	e.stats.Timeouts++
+	e.cc.OnTimeout(e.now)
+}
+
+// IntervalStats measures delivery over a window, for the adversary's
+// utilization observation.
+type IntervalStats struct {
+	start         float64
+	deliveredBits float64
+}
+
+// BeginInterval snapshots the counters at the start of an observation window.
+func (e *Emulator) BeginInterval() IntervalStats {
+	return IntervalStats{start: e.now, deliveredBits: e.stats.DeliveredBits}
+}
+
+// Utilization returns the fraction of the link capacity used since the
+// snapshot, given the capacity in force over the window.
+func (e *Emulator) Utilization(s IntervalStats, capacityMbps float64) float64 {
+	dt := e.now - s.start
+	if dt <= 0 || capacityMbps <= 0 {
+		return 0
+	}
+	u := (e.stats.DeliveredBits - s.deliveredBits) / (capacityMbps * 1e6 * dt)
+	return mathx.Clamp(u, 0, 1)
+}
+
+// ThroughputMbps returns the delivery rate since the snapshot in Mbps.
+func (e *Emulator) ThroughputMbps(s IntervalStats) float64 {
+	dt := e.now - s.start
+	if dt <= 0 {
+		return 0
+	}
+	return (e.stats.DeliveredBits - s.deliveredBits) / dt / 1e6
+}

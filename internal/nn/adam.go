@@ -1,0 +1,109 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) over a fixed set of
+// parameter slices. The moment buffers are lazily sized on the first Step.
+type Adam struct {
+	LR    float64 // learning rate
+	Beta1 float64 // first-moment decay, default 0.9
+	Beta2 float64 // second-moment decay, default 0.999
+	Eps   float64 // numerical stabilizer, default 1e-8
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update: params[i] -= lr * mhat / (sqrt(vhat) + eps),
+// where the moments are estimated from grads. params and grads must be
+// parallel and keep the same shapes across calls.
+func (a *Adam) Step(params, grads [][]float64) {
+	if len(params) != len(grads) {
+		panic("nn: Adam.Step params/grads mismatch")
+	}
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p))
+			a.v[i] = make([]float64, len(p))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		if len(g) != len(p) || len(m) != len(p) {
+			panic("nn: Adam.Step shape changed between calls")
+		}
+		for j := range p {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
+			mhat := m[j] / c1
+			vhat := v[j] / c2
+			p[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// Steps returns the number of updates applied so far.
+func (a *Adam) Steps() int { return a.t }
+
+// Reset clears the moment estimates and the step counter.
+func (a *Adam) Reset() {
+	a.t = 0
+	a.m = nil
+	a.v = nil
+}
+
+// SGD implements plain stochastic gradient descent with optional momentum.
+// It is used in ablations and tests as a reference optimizer.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel [][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and no
+// momentum.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies one SGD update to params given grads.
+func (s *SGD) Step(params, grads [][]float64) {
+	if len(params) != len(grads) {
+		panic("nn: SGD.Step params/grads mismatch")
+	}
+	if s.Momentum == 0 {
+		for i, p := range params {
+			g := grads[i]
+			for j := range p {
+				p[j] -= s.LR * g[j]
+			}
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make([][]float64, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float64, len(p))
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		v := s.vel[i]
+		for j := range p {
+			v[j] = s.Momentum*v[j] - s.LR*g[j]
+			p[j] += v[j]
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package nn implements the small dense neural networks used by every RL
+// agent in this repository: multi-layer perceptrons with tanh or ReLU hidden
+// activations, exact backpropagation, Adam optimization, and JSON
+// serialization. The paper's networks are tiny (at most two hidden layers of
+// 32 and 16 neurons for the ABR adversary, a single layer of 4 neurons for
+// the congestion-control adversary), so a straightforward float64
+// implementation is both sufficient and fast.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"advnet/internal/mathx"
+)
+
+// Activation selects the nonlinearity applied after each hidden layer.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	Tanh
+	ReLU
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dy/dx given y = act(x). Both tanh and ReLU admit
+// this form, which avoids caching pre-activations.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case Tanh:
+		return 1 - y*y
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Dense is a fully connected layer computing y = W·x + b.
+type Dense struct {
+	In, Out int
+	W       []float64 // Out*In, row-major: W[o*In+i]
+	B       []float64 // Out
+
+	gradW []float64
+	gradB []float64
+}
+
+// NewDense returns a layer with Xavier/Glorot-uniform initialized weights and
+// zero biases.
+func NewDense(rng *mathx.RNG, in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic("nn: NewDense with non-positive dimension")
+	}
+	d := &Dense{
+		In:    in,
+		Out:   out,
+		W:     make([]float64, in*out),
+		B:     make([]float64, out),
+		gradW: make([]float64, in*out),
+		gradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = rng.Uniform(-limit, limit)
+	}
+	return d
+}
+
+// forward writes W·x + b into out.
+func (d *Dense) forward(x, out []float64) {
+	for o := 0; o < d.Out; o++ {
+		row := d.W[o*d.In : (o+1)*d.In]
+		out[o] = d.B[o] + mathx.Dot(row, x)
+	}
+}
+
+// backward accumulates parameter gradients for this layer given the input x
+// that produced the forward pass and the gradient dOut of the loss w.r.t. the
+// layer output, and writes the gradient w.r.t. x into dX (if non-nil).
+func (d *Dense) backward(x, dOut, dX []float64) {
+	for o := 0; o < d.Out; o++ {
+		g := dOut[o]
+		d.gradB[o] += g
+		row := d.gradW[o*d.In : (o+1)*d.In]
+		mathx.AXPY(g, x, row)
+	}
+	if dX != nil {
+		mathx.Fill(dX, 0)
+		for o := 0; o < d.Out; o++ {
+			mathx.AXPY(dOut[o], d.W[o*d.In:(o+1)*d.In], dX)
+		}
+	}
+}
+
+// MLP is a multi-layer perceptron: dense layers with a shared hidden
+// activation and an identity output layer.
+type MLP struct {
+	layers []*Dense
+	hidden Activation
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes = [in, 32, 16,
+// out] gives two hidden layers of 32 and 16 units. hidden is applied after
+// every layer except the last.
+func NewMLP(rng *mathx.RNG, sizes []int, hidden Activation) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{hidden: hidden}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, NewDense(rng, sizes[i], sizes[i+1]))
+	}
+	return m
+}
+
+// InputSize returns the expected input dimension.
+func (m *MLP) InputSize() int { return m.layers[0].In }
+
+// OutputSize returns the output dimension.
+func (m *MLP) OutputSize() int { return m.layers[len(m.layers)-1].Out }
+
+// Sizes returns the layer sizes, including input and output.
+func (m *MLP) Sizes() []int {
+	sizes := []int{m.layers[0].In}
+	for _, l := range m.layers {
+		sizes = append(sizes, l.Out)
+	}
+	return sizes
+}
+
+// Hidden returns the hidden activation.
+func (m *MLP) Hidden() Activation { return m.hidden }
+
+// Cache holds the per-layer activations of one forward pass, required to run
+// the matching backward pass.
+type Cache struct {
+	// acts[0] is the input; acts[i] is the (post-activation) output of
+	// layer i-1. len(acts) == len(layers)+1.
+	acts [][]float64
+}
+
+// Output returns the network output stored in the cache.
+func (c *Cache) Output() []float64 { return c.acts[len(c.acts)-1] }
+
+// Forward runs the network on x and returns the output along with a cache for
+// Backward. The returned slices are freshly allocated.
+func (m *MLP) Forward(x []float64) ([]float64, *Cache) {
+	if len(x) != m.InputSize() {
+		panic(fmt.Sprintf("nn: Forward input size %d, want %d", len(x), m.InputSize()))
+	}
+	c := &Cache{acts: make([][]float64, len(m.layers)+1)}
+	c.acts[0] = mathx.CopyOf(x)
+	cur := c.acts[0]
+	for i, l := range m.layers {
+		out := make([]float64, l.Out)
+		l.forward(cur, out)
+		if i < len(m.layers)-1 {
+			for j := range out {
+				out[j] = m.hidden.apply(out[j])
+			}
+		}
+		c.acts[i+1] = out
+		cur = out
+	}
+	return cur, c
+}
+
+// Predict runs the network on x and returns only the output.
+func (m *MLP) Predict(x []float64) []float64 {
+	out, _ := m.Forward(x)
+	return out
+}
+
+// Backward accumulates parameter gradients from one sample given the cache of
+// its forward pass and dOut, the gradient of the loss w.r.t. the network
+// output. Gradients accumulate across calls until ZeroGrad. It returns the
+// gradient w.r.t. the network input.
+func (m *MLP) Backward(c *Cache, dOut []float64) []float64 {
+	if len(dOut) != m.OutputSize() {
+		panic("nn: Backward gradient size mismatch")
+	}
+	grad := mathx.CopyOf(dOut)
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		l := m.layers[i]
+		if i < len(m.layers)-1 {
+			// Undo the hidden activation applied to this layer's output.
+			y := c.acts[i+1]
+			for j := range grad {
+				grad[j] *= m.hidden.derivFromOutput(y[j])
+			}
+		}
+		dX := make([]float64, l.In)
+		l.backward(c.acts[i], grad, dX)
+		grad = dX
+	}
+	return grad
+}
+
+// Params returns aliased views of every parameter slice (weights and biases,
+// layer by layer). Mutating them mutates the network.
+func (m *MLP) Params() [][]float64 {
+	var ps [][]float64
+	for _, l := range m.layers {
+		ps = append(ps, l.W, l.B)
+	}
+	return ps
+}
+
+// Grads returns aliased views of the accumulated gradient slices, in the same
+// order as Params.
+func (m *MLP) Grads() [][]float64 {
+	var gs [][]float64
+	for _, l := range m.layers {
+		gs = append(gs, l.gradW, l.gradB)
+	}
+	return gs
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, g := range m.Grads() {
+		mathx.Fill(g, 0)
+	}
+}
+
+// ScaleGrads multiplies all accumulated gradients by alpha (used to average
+// over a minibatch).
+func (m *MLP) ScaleGrads(alpha float64) {
+	for _, g := range m.Grads() {
+		mathx.Scale(alpha, g)
+	}
+}
+
+// GradNorm returns the global L2 norm of all accumulated gradients.
+func (m *MLP) GradNorm() float64 {
+	var s float64
+	for _, g := range m.Grads() {
+		for _, v := range g {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGradNorm rescales gradients so their global L2 norm is at most maxNorm.
+func (m *MLP) ClipGradNorm(maxNorm float64) {
+	n := m.GradNorm()
+	if n > maxNorm && n > 0 {
+		m.ScaleGrads(maxNorm / n)
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the network (parameters only; gradients are
+// zeroed in the copy).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{hidden: m.hidden}
+	for _, l := range m.layers {
+		nl := &Dense{
+			In: l.In, Out: l.Out,
+			W:     mathx.CopyOf(l.W),
+			B:     mathx.CopyOf(l.B),
+			gradW: make([]float64, len(l.W)),
+			gradB: make([]float64, len(l.B)),
+		}
+		c.layers = append(c.layers, nl)
+	}
+	return c
+}
+
+// CopyParamsFrom overwrites m's parameters with src's. The architectures must
+// match.
+func (m *MLP) CopyParamsFrom(src *MLP) error {
+	if len(m.layers) != len(src.layers) {
+		return errors.New("nn: CopyParamsFrom architecture mismatch")
+	}
+	for i, l := range m.layers {
+		sl := src.layers[i]
+		if l.In != sl.In || l.Out != sl.Out {
+			return errors.New("nn: CopyParamsFrom layer size mismatch")
+		}
+		copy(l.W, sl.W)
+		copy(l.B, sl.B)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package rl
+
+import (
+	"fmt"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// A2C is a synchronous advantage actor-critic trainer — the single-worker
+// equivalent of the A3C algorithm Pensieve [17] was originally trained with.
+// It shares PPO's rollout and GAE machinery but performs a single on-policy
+// gradient step per rollout (no ratio clipping, no minibatch epochs), which
+// makes it a useful baseline for the ablation "does the protocol need PPO,
+// or just policy gradient?" and a faithful stand-in for Pensieve's original
+// training regime.
+type A2C struct {
+	Policy Policy
+	Value  *nn.MLP
+
+	cfg    A2CConfig
+	polOpt *nn.Adam
+	valOpt *nn.Adam
+	rng    *mathx.RNG
+	buf    rolloutBuffer
+	iter   int
+
+	pendObs  []float64
+	pendLive bool
+	pendEnv  Env
+
+	curEpReward float64
+}
+
+// A2CConfig holds the trainer hyperparameters.
+type A2CConfig struct {
+	RolloutSteps int
+	Gamma        float64
+	Lambda       float64
+	EntropyCoef  float64
+	ValueCoef    float64
+	LR           float64
+	MaxGradNorm  float64
+}
+
+// DefaultA2CConfig returns standard A2C settings.
+func DefaultA2CConfig() A2CConfig {
+	return A2CConfig{
+		RolloutSteps: 512,
+		Gamma:        0.99,
+		Lambda:       0.95,
+		EntropyCoef:  0.01,
+		ValueCoef:    0.5,
+		LR:           1e-3,
+		MaxGradNorm:  0.5,
+	}
+}
+
+// NewA2C builds an A2C trainer.
+func NewA2C(policy Policy, value *nn.MLP, cfg A2CConfig, rng *mathx.RNG) (*A2C, error) {
+	switch {
+	case cfg.RolloutSteps <= 0:
+		return nil, fmt.Errorf("rl: A2C RolloutSteps=%d", cfg.RolloutSteps)
+	case cfg.Gamma <= 0 || cfg.Gamma > 1:
+		return nil, fmt.Errorf("rl: A2C Gamma=%v", cfg.Gamma)
+	case cfg.LR <= 0:
+		return nil, fmt.Errorf("rl: A2C LR=%v", cfg.LR)
+	}
+	if value.OutputSize() != 1 {
+		return nil, fmt.Errorf("rl: A2C value network output size %d, want 1", value.OutputSize())
+	}
+	return &A2C{
+		Policy: policy,
+		Value:  value,
+		cfg:    cfg,
+		polOpt: nn.NewAdam(cfg.LR),
+		valOpt: nn.NewAdam(cfg.LR),
+		rng:    rng,
+	}, nil
+}
+
+// TrainIteration collects one rollout and applies one actor-critic update.
+func (a *A2C) TrainIteration(env Env) IterStats {
+	stats := IterStats{Iteration: a.iter}
+	a.iter++
+
+	obs := a.pendObs
+	if !a.pendLive || a.pendEnv != env {
+		obs = env.Reset()
+		a.curEpReward = 0
+	}
+	a.pendEnv = env
+	var rewardSum float64
+	for step := 0; step < a.cfg.RolloutSteps; step++ {
+		action, logp := a.Policy.Sample(a.rng, obs)
+		value := a.Value.Predict(obs)[0]
+		next, reward, done := env.Step(action)
+		a.buf.add(transition{
+			obs:    mathx.CopyOf(obs),
+			action: mathx.CopyOf(action),
+			reward: reward,
+			done:   done,
+			logp:   logp,
+			value:  value,
+		})
+		rewardSum += reward
+		a.curEpReward += reward
+		if done {
+			stats.Episodes++
+			stats.MeanEpReward += a.curEpReward
+			a.curEpReward = 0
+			obs = env.Reset()
+		} else {
+			obs = next
+		}
+	}
+	a.pendObs = mathx.CopyOf(obs)
+	a.pendLive = true
+	stats.Steps = a.buf.len()
+	stats.MeanStepRew = rewardSum / float64(a.buf.len())
+	if stats.Episodes > 0 {
+		stats.MeanEpReward /= float64(stats.Episodes)
+	}
+
+	lastValue := 0.0
+	if a.pendLive {
+		lastValue = a.Value.Predict(a.pendObs)[0]
+	}
+	a.buf.computeGAE(a.cfg.Gamma, a.cfg.Lambda, lastValue)
+	a.buf.normalizeAdvantages()
+
+	// One gradient step over the whole rollout: loss = −A·logπ − c_H·H +
+	// c_V·0.5(V − ret)².
+	a.Policy.ZeroGrad()
+	a.Value.ZeroGrad()
+	var sumEntropy, sumValueLoss, sumPolicyLoss float64
+	for i := range a.buf.steps {
+		s := &a.buf.steps[i]
+		logp, ent := a.Policy.Backward(s.obs, s.action, -s.advantage, -a.cfg.EntropyCoef)
+		sumPolicyLoss += -logp * s.advantage
+		sumEntropy += ent
+
+		v, cache := a.Value.Forward(s.obs)
+		diff := v[0] - s.ret
+		a.Value.Backward(cache, []float64{a.cfg.ValueCoef * diff})
+		sumValueLoss += 0.5 * diff * diff
+	}
+	n := float64(a.buf.len())
+	a.Policy.ScaleGrads(1 / n)
+	a.Value.ScaleGrads(1 / n)
+	if a.cfg.MaxGradNorm > 0 {
+		a.Policy.ClipGradNorm(a.cfg.MaxGradNorm)
+		a.Value.ClipGradNorm(a.cfg.MaxGradNorm)
+	}
+	a.polOpt.Step(a.Policy.Params(), a.Policy.Grads())
+	a.valOpt.Step(a.Value.Params(), a.Value.Grads())
+	stats.GradStepCount = 1
+	stats.PolicyLoss = sumPolicyLoss / n
+	stats.ValueLoss = sumValueLoss / n
+	stats.Entropy = sumEntropy / n
+
+	a.buf.reset()
+	return stats
+}
+
+// Train runs the given number of iterations.
+func (a *A2C) Train(env Env, iterations int) []IterStats {
+	out := make([]IterStats, 0, iterations)
+	for i := 0; i < iterations; i++ {
+		out = append(out, a.TrainIteration(env))
+	}
+	return out
+}

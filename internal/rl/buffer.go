@@ -1,0 +1,74 @@
+package rl
+
+import "math"
+
+// transition is one (s, a, r) step plus the bookkeeping PPO needs.
+type transition struct {
+	obs    []float64
+	action []float64
+	reward float64
+	done   bool
+	logp   float64 // log π_old(a|s) at collection time
+	value  float64 // V_old(s) at collection time
+
+	advantage float64
+	ret       float64 // advantage + value (the value target)
+}
+
+// rolloutBuffer accumulates transitions for one PPO iteration.
+type rolloutBuffer struct {
+	steps []transition
+}
+
+func (b *rolloutBuffer) add(t transition) { b.steps = append(b.steps, t) }
+
+func (b *rolloutBuffer) len() int { return len(b.steps) }
+
+func (b *rolloutBuffer) reset() { b.steps = b.steps[:0] }
+
+// computeGAE fills advantages and returns using generalized advantage
+// estimation (Schulman et al. 2016). lastValue bootstraps the value of the
+// state following the final stored transition; it must be 0 if that
+// transition ended an episode.
+func (b *rolloutBuffer) computeGAE(gamma, lambda, lastValue float64) {
+	adv := 0.0
+	nextValue := lastValue
+	for i := len(b.steps) - 1; i >= 0; i-- {
+		s := &b.steps[i]
+		nonTerminal := 1.0
+		if s.done {
+			nonTerminal = 0
+			adv = 0
+			nextValue = 0
+		}
+		delta := s.reward + gamma*nextValue*nonTerminal - s.value
+		adv = delta + gamma*lambda*nonTerminal*adv
+		s.advantage = adv
+		s.ret = adv + s.value
+		nextValue = s.value
+	}
+}
+
+// normalizeAdvantages standardizes the stored advantages to zero mean and
+// unit variance, the usual PPO stabilization.
+func (b *rolloutBuffer) normalizeAdvantages() {
+	n := len(b.steps)
+	if n < 2 {
+		return
+	}
+	var mean float64
+	for _, s := range b.steps {
+		mean += s.advantage
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, s := range b.steps {
+		d := s.advantage - mean
+		variance += d * d
+	}
+	variance /= float64(n)
+	std := math.Sqrt(variance) + 1e-8
+	for i := range b.steps {
+		b.steps[i].advantage = (b.steps[i].advantage - mean) / std
+	}
+}

@@ -1,0 +1,75 @@
+// Package rl implements the reinforcement-learning machinery the paper's
+// framework is built on: an episodic environment interface, categorical and
+// diagonal-Gaussian stochastic policies over nn.MLP function approximators,
+// generalized advantage estimation (GAE), and Proximal Policy Optimization
+// (PPO, Schulman et al. 2017) — the algorithm the paper trains both its
+// adversaries and its RL-based protocols with.
+package rl
+
+import "fmt"
+
+// ActionSpec describes an environment's action space. Exactly one of the
+// discrete or continuous forms applies.
+type ActionSpec struct {
+	// Discrete selects a categorical action space with N choices. Actions
+	// are encoded as a single-element []float64 holding the choice index.
+	Discrete bool
+	N        int
+
+	// For continuous spaces, Dim is the action dimensionality. Low and
+	// High (len Dim each) bound the values the environment accepts;
+	// policies may emit values outside the bounds (exploration noise) and
+	// environments are expected to clip, mirroring the paper's remark that
+	// "exploration and clipping done by PPO will return the actions to the
+	// acceptable range".
+	Dim  int
+	Low  []float64
+	High []float64
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s ActionSpec) Validate() error {
+	if s.Discrete {
+		if s.N <= 0 {
+			return fmt.Errorf("rl: discrete action spec with N=%d", s.N)
+		}
+		return nil
+	}
+	if s.Dim <= 0 {
+		return fmt.Errorf("rl: continuous action spec with Dim=%d", s.Dim)
+	}
+	if len(s.Low) != s.Dim || len(s.High) != s.Dim {
+		return fmt.Errorf("rl: bounds length mismatch (dim=%d low=%d high=%d)",
+			s.Dim, len(s.Low), len(s.High))
+	}
+	for i := range s.Low {
+		if s.Low[i] >= s.High[i] {
+			return fmt.Errorf("rl: bound %d inverted (%v >= %v)", i, s.Low[i], s.High[i])
+		}
+	}
+	return nil
+}
+
+// ActionSize returns the length of the action vector exchanged with the
+// environment (1 for discrete).
+func (s ActionSpec) ActionSize() int {
+	if s.Discrete {
+		return 1
+	}
+	return s.Dim
+}
+
+// Env is an episodic reinforcement-learning environment. Implementations are
+// single-goroutine; drive each instance from one trainer only.
+type Env interface {
+	// Reset starts a new episode and returns the initial observation.
+	Reset() []float64
+	// Step applies an action, advances the environment one step, and
+	// returns the next observation, the reward for the transition, and
+	// whether the episode terminated.
+	Step(action []float64) (obs []float64, reward float64, done bool)
+	// ObservationSize returns the length of observation vectors.
+	ObservationSize() int
+	// ActionSpec describes the action space.
+	ActionSpec() ActionSpec
+}

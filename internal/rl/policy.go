@@ -1,0 +1,292 @@
+package rl
+
+import (
+	"math"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// Policy is a trainable stochastic policy. The Backward method accumulates
+// the gradient of (wLogp·logπ(a|s) + wEnt·H(π(·|s))) with respect to the
+// policy parameters, treating the expression as a loss term — callers that
+// want to *maximize* log-probability or entropy pass negative weights.
+type Policy interface {
+	// Sample draws an action and returns it with its log-probability.
+	Sample(rng *mathx.RNG, obs []float64) (action []float64, logp float64)
+	// Mode returns the deterministic (highest-probability) action.
+	Mode(obs []float64) []float64
+	// LogProb returns log π(action|obs) under the current parameters.
+	LogProb(obs, action []float64) float64
+	// Entropy returns the policy entropy at obs.
+	Entropy(obs []float64) float64
+	// Backward accumulates parameter gradients as described above and
+	// returns the current logp and entropy for bookkeeping.
+	Backward(obs, action []float64, wLogp, wEnt float64) (logp, entropy float64)
+
+	// Parameter plumbing for the optimizer.
+	Params() [][]float64
+	Grads() [][]float64
+	ZeroGrad()
+	ScaleGrads(alpha float64)
+	ClipGradNorm(maxNorm float64)
+}
+
+// CategoricalPolicy is a softmax policy over N discrete actions; the network
+// maps observations to N logits.
+type CategoricalPolicy struct {
+	net *nn.MLP
+	n   int
+}
+
+// NewCategoricalPolicy builds a categorical policy from a network whose
+// output size is the number of actions.
+func NewCategoricalPolicy(net *nn.MLP) *CategoricalPolicy {
+	return &CategoricalPolicy{net: net, n: net.OutputSize()}
+}
+
+// Net returns the underlying network (e.g. for serialization).
+func (p *CategoricalPolicy) Net() *nn.MLP { return p.net }
+
+// N returns the number of actions.
+func (p *CategoricalPolicy) N() int { return p.n }
+
+func (p *CategoricalPolicy) probs(obs []float64) []float64 {
+	logits := p.net.Predict(obs)
+	out := make([]float64, len(logits))
+	return mathx.Softmax(logits, out)
+}
+
+// Sample draws an action index proportionally to the softmax probabilities.
+func (p *CategoricalPolicy) Sample(rng *mathx.RNG, obs []float64) ([]float64, float64) {
+	probs := p.probs(obs)
+	a := rng.Choice(probs)
+	return []float64{float64(a)}, math.Log(probs[a] + 1e-12)
+}
+
+// Mode returns the argmax action.
+func (p *CategoricalPolicy) Mode(obs []float64) []float64 {
+	return []float64{float64(mathx.ArgMax(p.net.Predict(obs)))}
+}
+
+// LogProb returns the log-probability of the given action index.
+func (p *CategoricalPolicy) LogProb(obs, action []float64) float64 {
+	probs := p.probs(obs)
+	return math.Log(probs[int(action[0])] + 1e-12)
+}
+
+// Entropy returns the entropy of the action distribution at obs.
+func (p *CategoricalPolicy) Entropy(obs []float64) float64 {
+	probs := p.probs(obs)
+	var h float64
+	for _, q := range probs {
+		if q > 0 {
+			h -= q * math.Log(q)
+		}
+	}
+	return h
+}
+
+// Backward implements Policy.
+func (p *CategoricalPolicy) Backward(obs, action []float64, wLogp, wEnt float64) (float64, float64) {
+	logits, cache := p.net.Forward(obs)
+	probs := make([]float64, len(logits))
+	mathx.Softmax(logits, probs)
+	a := int(action[0])
+	logp := math.Log(probs[a] + 1e-12)
+	var h float64
+	for _, q := range probs {
+		if q > 0 {
+			h -= q * math.Log(q)
+		}
+	}
+
+	// d logp / d logit_j = 1{j==a} - p_j
+	// d H / d logit_j    = -p_j (log p_j + H)
+	dLogits := make([]float64, len(logits))
+	for j, q := range probs {
+		var dLogp float64
+		if j == a {
+			dLogp = 1 - q
+		} else {
+			dLogp = -q
+		}
+		dEnt := 0.0
+		if q > 0 {
+			dEnt = -q * (math.Log(q) + h)
+		}
+		dLogits[j] = wLogp*dLogp + wEnt*dEnt
+	}
+	p.net.Backward(cache, dLogits)
+	return logp, h
+}
+
+// Params implements Policy.
+func (p *CategoricalPolicy) Params() [][]float64 { return p.net.Params() }
+
+// Grads implements Policy.
+func (p *CategoricalPolicy) Grads() [][]float64 { return p.net.Grads() }
+
+// ZeroGrad implements Policy.
+func (p *CategoricalPolicy) ZeroGrad() { p.net.ZeroGrad() }
+
+// ScaleGrads implements Policy.
+func (p *CategoricalPolicy) ScaleGrads(a float64) { p.net.ScaleGrads(a) }
+
+// ClipGradNorm implements Policy.
+func (p *CategoricalPolicy) ClipGradNorm(m float64) { p.net.ClipGradNorm(m) }
+
+// GaussianPolicy is a diagonal-Gaussian policy for continuous actions: the
+// network maps observations to the mean, and a state-independent learned
+// log-standard-deviation vector controls exploration noise, matching the
+// stable-baselines PPO default the paper uses.
+type GaussianPolicy struct {
+	net     *nn.MLP
+	logStd  []float64
+	gLogStd []float64
+	dim     int
+
+	// MinLogStd/MaxLogStd bound the *effective* log-standard-deviation
+	// used for sampling and density evaluation. PPO's entropy/objective
+	// gradients will happily inflate exploration noise without bound when
+	// noise itself is rewarded (an adversary can defeat a protocol with
+	// pure jitter); capping the effective std forces the policy mean to
+	// learn structure instead. Defaults are ±∞ (no bound).
+	MinLogStd float64
+	MaxLogStd float64
+}
+
+const log2Pi = 1.8378770664093453 // log(2π)
+
+// NewGaussianPolicy builds a Gaussian policy from a network whose output size
+// is the action dimension. initLogStd sets the initial exploration scale
+// (stable-baselines defaults to 0, i.e. unit standard deviation).
+func NewGaussianPolicy(net *nn.MLP, initLogStd float64) *GaussianPolicy {
+	dim := net.OutputSize()
+	p := &GaussianPolicy{
+		net:       net,
+		logStd:    make([]float64, dim),
+		gLogStd:   make([]float64, dim),
+		dim:       dim,
+		MinLogStd: math.Inf(-1),
+		MaxLogStd: math.Inf(1),
+	}
+	mathx.Fill(p.logStd, initLogStd)
+	return p
+}
+
+// effLogStd returns the clamped log-std for dimension i.
+func (p *GaussianPolicy) effLogStd(i int) float64 {
+	return mathx.Clamp(p.logStd[i], p.MinLogStd, p.MaxLogStd)
+}
+
+// Net returns the underlying mean network.
+func (p *GaussianPolicy) Net() *nn.MLP { return p.net }
+
+// LogStd returns the learned log-standard-deviation vector (aliased).
+func (p *GaussianPolicy) LogStd() []float64 { return p.logStd }
+
+// Dim returns the action dimensionality.
+func (p *GaussianPolicy) Dim() int { return p.dim }
+
+// Sample draws an action from N(mean(obs), diag(exp(logStd))²).
+func (p *GaussianPolicy) Sample(rng *mathx.RNG, obs []float64) ([]float64, float64) {
+	mean := p.net.Predict(obs)
+	action := make([]float64, p.dim)
+	logp := 0.0
+	for i := 0; i < p.dim; i++ {
+		ls := p.effLogStd(i)
+		std := math.Exp(ls)
+		action[i] = mean[i] + std*rng.Norm()
+		z := (action[i] - mean[i]) / std
+		logp += -0.5*z*z - ls - 0.5*log2Pi
+	}
+	return action, logp
+}
+
+// Mode returns the distribution mean (the noise-free action the paper plots
+// in Figure 6).
+func (p *GaussianPolicy) Mode(obs []float64) []float64 {
+	return mathx.CopyOf(p.net.Predict(obs))
+}
+
+// LogProb returns the log-density of action under the current parameters.
+func (p *GaussianPolicy) LogProb(obs, action []float64) float64 {
+	mean := p.net.Predict(obs)
+	logp := 0.0
+	for i := 0; i < p.dim; i++ {
+		ls := p.effLogStd(i)
+		std := math.Exp(ls)
+		z := (action[i] - mean[i]) / std
+		logp += -0.5*z*z - ls - 0.5*log2Pi
+	}
+	return logp
+}
+
+// Entropy returns the (state-independent) differential entropy.
+func (p *GaussianPolicy) Entropy(_ []float64) float64 {
+	h := 0.0
+	for i := 0; i < p.dim; i++ {
+		h += p.effLogStd(i) + 0.5*(log2Pi+1)
+	}
+	return h
+}
+
+// Backward implements Policy.
+func (p *GaussianPolicy) Backward(obs, action []float64, wLogp, wEnt float64) (float64, float64) {
+	mean, cache := p.net.Forward(obs)
+	logp := 0.0
+	dMean := make([]float64, p.dim)
+	for i := 0; i < p.dim; i++ {
+		ls := p.effLogStd(i)
+		std := math.Exp(ls)
+		z := (action[i] - mean[i]) / std
+		logp += -0.5*z*z - ls - 0.5*log2Pi
+
+		// d logp / d mean_i = z/std ; d logp / d logStd_i = z² − 1.
+		// At an active clamp the effective std does not respond to the
+		// parameter, so its gradient is zero there.
+		dMean[i] = wLogp * z / std
+		if p.logStd[i] > p.MinLogStd && p.logStd[i] < p.MaxLogStd {
+			p.gLogStd[i] += wLogp*(z*z-1) + wEnt
+		}
+	}
+	p.net.Backward(cache, dMean)
+	return logp, p.Entropy(obs)
+}
+
+// Params implements Policy: the network parameters plus the logStd vector.
+func (p *GaussianPolicy) Params() [][]float64 {
+	return append(p.net.Params(), p.logStd)
+}
+
+// Grads implements Policy.
+func (p *GaussianPolicy) Grads() [][]float64 {
+	return append(p.net.Grads(), p.gLogStd)
+}
+
+// ZeroGrad implements Policy.
+func (p *GaussianPolicy) ZeroGrad() {
+	p.net.ZeroGrad()
+	mathx.Fill(p.gLogStd, 0)
+}
+
+// ScaleGrads implements Policy.
+func (p *GaussianPolicy) ScaleGrads(a float64) {
+	p.net.ScaleGrads(a)
+	mathx.Scale(a, p.gLogStd)
+}
+
+// ClipGradNorm implements Policy over the joint parameter vector.
+func (p *GaussianPolicy) ClipGradNorm(maxNorm float64) {
+	var s float64
+	for _, g := range p.Grads() {
+		for _, v := range g {
+			s += v * v
+		}
+	}
+	n := math.Sqrt(s)
+	if n > maxNorm && n > 0 {
+		p.ScaleGrads(maxNorm / n)
+	}
+}

@@ -1,0 +1,319 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// PPOConfig holds the hyperparameters of the PPO trainer. The defaults mirror
+// the stable-baselines PPO2 defaults the paper reports using (with a constant
+// learning rate, as the paper specifies).
+type PPOConfig struct {
+	RolloutSteps  int     // environment steps collected per iteration
+	Epochs        int     // optimization epochs over each rollout
+	MinibatchSize int     // samples per gradient step
+	Gamma         float64 // discount factor
+	Lambda        float64 // GAE lambda
+	ClipEps       float64 // PPO clipping radius
+	EntropyCoef   float64 // entropy bonus weight
+	ValueCoef     float64 // value-loss weight
+	LR            float64 // Adam learning rate (constant)
+	MaxGradNorm   float64 // global gradient-norm clip
+}
+
+// DefaultPPOConfig returns the stable-baselines-like defaults.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		RolloutSteps:  2048,
+		Epochs:        4,
+		MinibatchSize: 64,
+		Gamma:         0.99,
+		Lambda:        0.95,
+		ClipEps:       0.2,
+		EntropyCoef:   0.01,
+		ValueCoef:     0.5,
+		LR:            3e-4,
+		MaxGradNorm:   0.5,
+	}
+}
+
+func (c PPOConfig) validate() error {
+	switch {
+	case c.RolloutSteps <= 0:
+		return fmt.Errorf("rl: RolloutSteps=%d", c.RolloutSteps)
+	case c.Epochs <= 0:
+		return fmt.Errorf("rl: Epochs=%d", c.Epochs)
+	case c.MinibatchSize <= 0:
+		return fmt.Errorf("rl: MinibatchSize=%d", c.MinibatchSize)
+	case c.Gamma <= 0 || c.Gamma > 1:
+		return fmt.Errorf("rl: Gamma=%v", c.Gamma)
+	case c.Lambda < 0 || c.Lambda > 1:
+		return fmt.Errorf("rl: Lambda=%v", c.Lambda)
+	case c.ClipEps <= 0:
+		return fmt.Errorf("rl: ClipEps=%v", c.ClipEps)
+	case c.LR <= 0:
+		return fmt.Errorf("rl: LR=%v", c.LR)
+	}
+	return nil
+}
+
+// IterStats summarizes one PPO training iteration.
+type IterStats struct {
+	Iteration     int
+	Steps         int     // env steps in the rollout
+	Episodes      int     // episodes completed during the rollout
+	MeanEpReward  float64 // mean total reward of completed episodes
+	MeanStepRew   float64 // mean per-step reward across the rollout
+	PolicyLoss    float64
+	ValueLoss     float64
+	Entropy       float64
+	ClipFraction  float64 // fraction of samples where the ratio was clipped
+	ApproxKL      float64 // mean (logp_old - logp_new), a KL proxy
+	GradStepCount int
+}
+
+// PPO trains a Policy and a value network against an Env with Proximal Policy
+// Optimization.
+type PPO struct {
+	Policy Policy
+	Value  *nn.MLP
+
+	cfg      PPOConfig
+	polOpt   *nn.Adam
+	valOpt   *nn.Adam
+	rng      *mathx.RNG
+	buf      rolloutBuffer
+	iter     int
+	pendObs  []float64 // observation carried across iterations
+	pendLive bool
+	pendEnv  Env // the env pendObs came from
+
+	// episode accounting across rollout boundaries
+	curEpReward float64
+}
+
+// NewPPO builds a trainer. The value network must map observations to a
+// single scalar.
+func NewPPO(policy Policy, value *nn.MLP, cfg PPOConfig, rng *mathx.RNG) (*PPO, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if value.OutputSize() != 1 {
+		return nil, fmt.Errorf("rl: value network output size %d, want 1", value.OutputSize())
+	}
+	return &PPO{
+		Policy: policy,
+		Value:  value,
+		cfg:    cfg,
+		polOpt: nn.NewAdam(cfg.LR),
+		valOpt: nn.NewAdam(cfg.LR),
+		rng:    rng,
+	}, nil
+}
+
+// Config returns the trainer's configuration.
+func (p *PPO) Config() PPOConfig { return p.cfg }
+
+// TrainIteration collects one rollout from env and performs the PPO update,
+// returning iteration statistics.
+func (p *PPO) TrainIteration(env Env) IterStats {
+	stats := IterStats{Iteration: p.iter}
+	p.iter++
+
+	p.collectRollout(env, &stats)
+
+	// Bootstrap value for the trailing partial episode.
+	lastValue := 0.0
+	if p.pendLive {
+		lastValue = p.Value.Predict(p.pendObs)[0]
+	}
+	p.buf.computeGAE(p.cfg.Gamma, p.cfg.Lambda, lastValue)
+	p.buf.normalizeAdvantages()
+	p.update(&stats)
+	p.buf.reset()
+	return stats
+}
+
+// Train runs iterations training iterations and returns their statistics.
+func (p *PPO) Train(env Env, iterations int) []IterStats {
+	out := make([]IterStats, 0, iterations)
+	for i := 0; i < iterations; i++ {
+		out = append(out, p.TrainIteration(env))
+	}
+	return out
+}
+
+func (p *PPO) collectRollout(env Env, stats *IterStats) {
+	obs := p.pendObs
+	if !p.pendLive || p.pendEnv != env {
+		// Fresh start, or training resumed against a different
+		// environment (e.g. after injecting adversarial traces).
+		obs = env.Reset()
+		p.curEpReward = 0
+	}
+	p.pendEnv = env
+	var rewardSum float64
+	for step := 0; step < p.cfg.RolloutSteps; step++ {
+		action, logp := p.Policy.Sample(p.rng, obs)
+		value := p.Value.Predict(obs)[0]
+		next, reward, done := env.Step(action)
+		p.buf.add(transition{
+			obs:    mathx.CopyOf(obs),
+			action: mathx.CopyOf(action),
+			reward: reward,
+			done:   done,
+			logp:   logp,
+			value:  value,
+		})
+		rewardSum += reward
+		p.curEpReward += reward
+		if done {
+			stats.Episodes++
+			stats.MeanEpReward += p.curEpReward
+			p.curEpReward = 0
+			obs = env.Reset()
+		} else {
+			obs = next
+		}
+	}
+	p.pendObs = mathx.CopyOf(obs)
+	p.pendLive = true
+	stats.Steps = p.buf.len()
+	stats.MeanStepRew = rewardSum / float64(p.buf.len())
+	if stats.Episodes > 0 {
+		stats.MeanEpReward /= float64(stats.Episodes)
+	}
+}
+
+func (p *PPO) update(stats *IterStats) {
+	n := p.buf.len()
+	var (
+		sumPolicyLoss float64
+		sumValueLoss  float64
+		sumEntropy    float64
+		clipped       int
+		sumKL         float64
+		samples       int
+	)
+	for epoch := 0; epoch < p.cfg.Epochs; epoch++ {
+		perm := p.rng.Perm(n)
+		for start := 0; start < n; start += p.cfg.MinibatchSize {
+			end := start + p.cfg.MinibatchSize
+			if end > n {
+				end = n
+			}
+			batch := perm[start:end]
+			p.Policy.ZeroGrad()
+			p.Value.ZeroGrad()
+			for _, idx := range batch {
+				s := &p.buf.steps[idx]
+
+				// Policy term. ratio = exp(logp_new - logp_old).
+				logpNew := p.Policy.LogProb(s.obs, s.action)
+				ratio := math.Exp(logpNew - s.logp)
+				adv := s.advantage
+				// L_clip = min(r·A, clip(r)·A); we accumulate the
+				// gradient of −L_clip. d(r·A)/dlogp = r·A, so the
+				// logp weight is −r·A when the unclipped branch is
+				// active and 0 when clipped.
+				clipActive := false
+				if adv >= 0 && ratio > 1+p.cfg.ClipEps {
+					clipActive = true
+				}
+				if adv < 0 && ratio < 1-p.cfg.ClipEps {
+					clipActive = true
+				}
+				wLogp := 0.0
+				if !clipActive {
+					wLogp = -ratio * adv
+				}
+				_, ent := p.Policy.Backward(s.obs, s.action, wLogp, -p.cfg.EntropyCoef)
+
+				surr := ratio * adv
+				clippedRatio := mathx.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps)
+				if clippedRatio*adv < surr {
+					surr = clippedRatio * adv
+				}
+				sumPolicyLoss += -surr
+				sumEntropy += ent
+				sumKL += s.logp - logpNew
+				if clipActive {
+					clipped++
+				}
+				samples++
+
+				// Value term: 0.5·(V(s) − ret)².
+				v, cache := p.Value.Forward(s.obs)
+				diff := v[0] - s.ret
+				p.Value.Backward(cache, []float64{p.cfg.ValueCoef * diff})
+				sumValueLoss += 0.5 * diff * diff
+			}
+			inv := 1.0 / float64(len(batch))
+			p.Policy.ScaleGrads(inv)
+			p.Value.ScaleGrads(inv)
+			if p.cfg.MaxGradNorm > 0 {
+				p.Policy.ClipGradNorm(p.cfg.MaxGradNorm)
+				p.Value.ClipGradNorm(p.cfg.MaxGradNorm)
+			}
+			p.polOpt.Step(p.Policy.Params(), p.Policy.Grads())
+			p.valOpt.Step(p.Value.Params(), p.Value.Grads())
+			stats.GradStepCount++
+		}
+	}
+	if samples > 0 {
+		stats.PolicyLoss = sumPolicyLoss / float64(samples)
+		stats.ValueLoss = sumValueLoss / float64(samples)
+		stats.Entropy = sumEntropy / float64(samples)
+		stats.ClipFraction = float64(clipped) / float64(samples)
+		stats.ApproxKL = sumKL / float64(samples)
+	}
+}
+
+// EvalStats summarizes deterministic policy evaluation.
+type EvalStats struct {
+	Episodes      int
+	MeanReward    float64 // mean total episode reward
+	StdReward     float64
+	MeanEpLength  float64
+	RewardPerStep float64
+}
+
+// Evaluate runs the policy deterministically (Mode actions) for the given
+// number of episodes and returns aggregate statistics.
+func Evaluate(policy Policy, env Env, episodes int) EvalStats {
+	var totals []float64
+	var lengths []float64
+	var steps, stepRewardSum float64
+	for ep := 0; ep < episodes; ep++ {
+		obs := env.Reset()
+		total := 0.0
+		length := 0
+		for {
+			action := policy.Mode(obs)
+			next, reward, done := env.Step(action)
+			total += reward
+			stepRewardSum += reward
+			steps++
+			length++
+			if done {
+				break
+			}
+			obs = next
+		}
+		totals = append(totals, total)
+		lengths = append(lengths, float64(length))
+	}
+	st := EvalStats{
+		Episodes:     episodes,
+		MeanReward:   mathx.Mean(totals),
+		StdReward:    mathx.StdDev(totals),
+		MeanEpLength: mathx.Mean(lengths),
+	}
+	if steps > 0 {
+		st.RewardPerStep = stepRewardSum / steps
+	}
+	return st
+}

@@ -1,0 +1,308 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+func TestGAEHandComputed(t *testing.T) {
+	// Two-step episode, gamma=0.5, lambda=1 (plain discounted advantage).
+	b := &rolloutBuffer{}
+	b.add(transition{reward: 1, value: 0.5})
+	b.add(transition{reward: 2, value: 0.25, done: true})
+	b.computeGAE(0.5, 1.0, 0 /* terminal */)
+
+	// delta1 = 2 + 0 - 0.25 = 1.75 ; adv1 = 1.75
+	// delta0 = 1 + 0.5*0.25 - 0.5 = 0.625 ; adv0 = 0.625 + 0.5*1*1.75 = 1.5
+	if math.Abs(b.steps[1].advantage-1.75) > 1e-12 {
+		t.Errorf("adv1 = %v", b.steps[1].advantage)
+	}
+	if math.Abs(b.steps[0].advantage-1.5) > 1e-12 {
+		t.Errorf("adv0 = %v", b.steps[0].advantage)
+	}
+	if math.Abs(b.steps[0].ret-(1.5+0.5)) > 1e-12 {
+		t.Errorf("ret0 = %v", b.steps[0].ret)
+	}
+}
+
+func TestGAEBootstrapsLastValue(t *testing.T) {
+	b := &rolloutBuffer{}
+	b.add(transition{reward: 0, value: 0})
+	b.computeGAE(1.0, 1.0, 10.0) // non-terminal, next state worth 10
+	if math.Abs(b.steps[0].advantage-10) > 1e-12 {
+		t.Fatalf("bootstrap advantage = %v, want 10", b.steps[0].advantage)
+	}
+}
+
+func TestGAEResetsAcrossEpisodes(t *testing.T) {
+	// Episode boundary (done=true) must stop advantage propagation.
+	b := &rolloutBuffer{}
+	b.add(transition{reward: 0, value: 0, done: true})
+	b.add(transition{reward: 100, value: 0, done: true})
+	b.computeGAE(1.0, 1.0, 0)
+	if b.steps[0].advantage != 0 {
+		t.Fatalf("advantage leaked across done: %v", b.steps[0].advantage)
+	}
+}
+
+func TestNormalizeAdvantages(t *testing.T) {
+	b := &rolloutBuffer{}
+	for i := 0; i < 100; i++ {
+		b.add(transition{advantage: float64(i)})
+	}
+	b.normalizeAdvantages()
+	var mean, varSum float64
+	for _, s := range b.steps {
+		mean += s.advantage
+	}
+	mean /= 100
+	for _, s := range b.steps {
+		d := s.advantage - mean
+		varSum += d * d
+	}
+	if math.Abs(mean) > 1e-9 {
+		t.Errorf("normalized mean %v", mean)
+	}
+	if std := math.Sqrt(varSum / 100); math.Abs(std-1) > 1e-6 {
+		t.Errorf("normalized std %v", std)
+	}
+}
+
+// banditEnv is a one-step environment: action i yields reward rewards[i].
+type banditEnv struct {
+	rewards []float64
+}
+
+func (b *banditEnv) Reset() []float64 { return []float64{1} }
+func (b *banditEnv) Step(a []float64) ([]float64, float64, bool) {
+	return []float64{1}, b.rewards[int(a[0])], true
+}
+func (b *banditEnv) ObservationSize() int { return 1 }
+func (b *banditEnv) ActionSpec() ActionSpec {
+	return ActionSpec{Discrete: true, N: len(b.rewards)}
+}
+
+func TestPPOLearnsBandit(t *testing.T) {
+	rng := mathx.NewRNG(42)
+	env := &banditEnv{rewards: []float64{0, 1, 0.2}}
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 8, 3}, nn.Tanh))
+	value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+	cfg := DefaultPPOConfig()
+	cfg.RolloutSteps = 128
+	cfg.LR = 0.01
+	p, err := NewPPO(policy, value, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Train(env, 30)
+	last := stats[len(stats)-1]
+	if last.MeanEpReward < 0.9 {
+		t.Fatalf("PPO failed bandit: mean episode reward %v", last.MeanEpReward)
+	}
+	if int(policy.Mode([]float64{1})[0]) != 1 {
+		t.Fatal("mode action is not the best arm")
+	}
+}
+
+// targetEnv rewards continuous actions near a fixed target; episodes last
+// `horizon` steps. Observation is a constant.
+type targetEnv struct {
+	target  float64
+	horizon int
+	step    int
+}
+
+func (e *targetEnv) Reset() []float64 { e.step = 0; return []float64{1} }
+func (e *targetEnv) Step(a []float64) ([]float64, float64, bool) {
+	e.step++
+	d := a[0] - e.target
+	return []float64{1}, -d * d, e.step >= e.horizon
+}
+func (e *targetEnv) ObservationSize() int { return 1 }
+func (e *targetEnv) ActionSpec() ActionSpec {
+	return ActionSpec{Dim: 1, Low: []float64{-5}, High: []float64{5}}
+}
+
+func TestPPOLearnsContinuousTarget(t *testing.T) {
+	rng := mathx.NewRNG(77)
+	env := &targetEnv{target: 1.5, horizon: 8}
+	policy := NewGaussianPolicy(nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh), -0.5)
+	value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+	cfg := DefaultPPOConfig()
+	cfg.RolloutSteps = 256
+	cfg.LR = 0.005
+	cfg.EntropyCoef = 0.0
+	p, err := NewPPO(policy, value, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Train(env, 60)
+	mode := policy.Mode([]float64{1})[0]
+	if math.Abs(mode-1.5) > 0.35 {
+		t.Fatalf("learned mean %v, want ~1.5", mode)
+	}
+}
+
+func TestPPOStatsSane(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	env := &banditEnv{rewards: []float64{0, 1}}
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 4, 2}, nn.Tanh))
+	value := nn.NewMLP(rng, []int{1, 4, 1}, nn.Tanh)
+	cfg := DefaultPPOConfig()
+	cfg.RolloutSteps = 64
+	p, err := NewPPO(policy, value, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.TrainIteration(env)
+	if st.Steps != 64 {
+		t.Errorf("Steps = %d", st.Steps)
+	}
+	if st.Episodes != 64 { // bandit episodes are 1 step each
+		t.Errorf("Episodes = %d", st.Episodes)
+	}
+	if st.Entropy < 0 || st.Entropy > math.Log(2)+1e-9 {
+		t.Errorf("Entropy = %v", st.Entropy)
+	}
+	if st.ClipFraction < 0 || st.ClipFraction > 1 {
+		t.Errorf("ClipFraction = %v", st.ClipFraction)
+	}
+	if st.GradStepCount == 0 {
+		t.Error("no gradient steps")
+	}
+}
+
+func TestPPOConfigValidation(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 2}, nn.Tanh))
+	value := nn.NewMLP(rng, []int{1, 1}, nn.Tanh)
+	bad := DefaultPPOConfig()
+	bad.Gamma = 1.5
+	if _, err := NewPPO(policy, value, bad, rng); err == nil {
+		t.Fatal("accepted gamma > 1")
+	}
+	bad = DefaultPPOConfig()
+	bad.RolloutSteps = 0
+	if _, err := NewPPO(policy, value, bad, rng); err == nil {
+		t.Fatal("accepted zero rollout")
+	}
+	wrongValue := nn.NewMLP(rng, []int{1, 2}, nn.Tanh)
+	if _, err := NewPPO(policy, wrongValue, DefaultPPOConfig(), rng); err == nil {
+		t.Fatal("accepted non-scalar value net")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	env := &banditEnv{rewards: []float64{0.3, 0.9}}
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 2}, nn.Identity))
+	st := Evaluate(policy, env, 10)
+	if st.Episodes != 10 {
+		t.Errorf("Episodes = %d", st.Episodes)
+	}
+	mode := int(policy.Mode([]float64{1})[0])
+	want := env.rewards[mode]
+	if math.Abs(st.MeanReward-want) > 1e-12 {
+		t.Errorf("MeanReward = %v, want %v", st.MeanReward, want)
+	}
+	if st.StdReward > 1e-12 {
+		t.Errorf("deterministic eval has nonzero std %v", st.StdReward)
+	}
+	if st.MeanEpLength != 1 {
+		t.Errorf("MeanEpLength = %v", st.MeanEpLength)
+	}
+}
+
+func TestPPODeterministicGivenSeed(t *testing.T) {
+	run := func() float64 {
+		rng := mathx.NewRNG(123)
+		env := &banditEnv{rewards: []float64{0, 1, 0.5}}
+		policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 4, 3}, nn.Tanh))
+		value := nn.NewMLP(rng, []int{1, 4, 1}, nn.Tanh)
+		cfg := DefaultPPOConfig()
+		cfg.RolloutSteps = 32
+		p, _ := NewPPO(policy, value, cfg, rng)
+		st := p.Train(env, 3)
+		return st[2].MeanEpReward
+	}
+	if run() != run() {
+		t.Fatal("PPO training is not deterministic for a fixed seed")
+	}
+}
+
+func TestA2CLearnsBandit(t *testing.T) {
+	rng := mathx.NewRNG(88)
+	env := &banditEnv{rewards: []float64{0, 1, 0.2}}
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 8, 3}, nn.Tanh))
+	value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+	cfg := DefaultA2CConfig()
+	cfg.RolloutSteps = 128
+	cfg.LR = 0.01
+	a, err := NewA2C(policy, value, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := a.Train(env, 40)
+	last := stats[len(stats)-1]
+	if last.MeanEpReward < 0.85 {
+		t.Fatalf("A2C failed bandit: mean episode reward %v", last.MeanEpReward)
+	}
+	if int(policy.Mode([]float64{1})[0]) != 1 {
+		t.Fatal("mode action is not the best arm")
+	}
+}
+
+func TestA2CLearnsContinuousTarget(t *testing.T) {
+	rng := mathx.NewRNG(89)
+	env := &targetEnv{target: -0.8, horizon: 8}
+	policy := NewGaussianPolicy(nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh), -0.5)
+	value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+	cfg := DefaultA2CConfig()
+	cfg.RolloutSteps = 256
+	cfg.LR = 0.005
+	cfg.EntropyCoef = 0
+	a, err := NewA2C(policy, value, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Train(env, 80)
+	mode := policy.Mode([]float64{1})[0]
+	if math.Abs(mode-(-0.8)) > 0.4 {
+		t.Fatalf("A2C learned mean %v, want ~-0.8", mode)
+	}
+}
+
+func TestA2CConfigValidation(t *testing.T) {
+	rng := mathx.NewRNG(90)
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 2}, nn.Tanh))
+	value := nn.NewMLP(rng, []int{1, 1}, nn.Tanh)
+	bad := DefaultA2CConfig()
+	bad.RolloutSteps = 0
+	if _, err := NewA2C(policy, value, bad, rng); err == nil {
+		t.Fatal("accepted zero rollout")
+	}
+	wrongValue := nn.NewMLP(rng, []int{1, 2}, nn.Tanh)
+	if _, err := NewA2C(policy, wrongValue, DefaultA2CConfig(), rng); err == nil {
+		t.Fatal("accepted non-scalar value net")
+	}
+}
+
+func TestA2CEnvSwitchResets(t *testing.T) {
+	rng := mathx.NewRNG(91)
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 4, 2}, nn.Tanh))
+	value := nn.NewMLP(rng, []int{1, 4, 1}, nn.Tanh)
+	cfg := DefaultA2CConfig()
+	cfg.RolloutSteps = 16
+	a, err := NewA2C(policy, value, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := &banditEnv{rewards: []float64{0, 1}}
+	envB := &banditEnv{rewards: []float64{1, 0}}
+	a.TrainIteration(envA)
+	// Switching envs must not panic or reuse envA's carried state.
+	a.TrainIteration(envB)
+}

@@ -1,0 +1,27 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"advnet/internal/routing"
+)
+
+// ExampleMLU routes one unit of demand across the two 2-hop paths of a
+// diamond topology and compares single-path (SPF) against even-split (ECMP)
+// congestion.
+func ExampleMLU() {
+	top, err := routing.NewTopology(4, []routing.Edge{
+		{From: 0, To: 1, Capacity: 1}, {From: 0, To: 2, Capacity: 1},
+		{From: 1, To: 3, Capacity: 1}, {From: 2, To: 3, Capacity: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	d := routing.DemandMatrix{{Src: 0, Dst: 3, Rate: 1}}
+
+	fmt.Printf("SPF MLU:  %.2f\n", routing.MLU(top, routing.SPF{}.Route(top, d)))
+	fmt.Printf("ECMP MLU: %.2f\n", routing.MLU(top, routing.ECMP{}.Route(top, d)))
+	// Output:
+	// SPF MLU:  1.00
+	// ECMP MLU: 0.50
+}

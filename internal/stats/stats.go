@@ -1,0 +1,275 @@
+// Package stats provides the evaluation plumbing behind every figure of the
+// reproduction: empirical CDFs, percentiles, ratio summaries, and simple
+// ASCII rendering of series so the benchmark harness can print the same
+// curves the paper plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0-100) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum. It panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum. It panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of the first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.sorted, q*100)
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Points returns (x, F(x)) pairs suitable for plotting, one per sample.
+func (c *CDF) Points() ([]float64, []float64) {
+	xs := append([]float64(nil), c.sorted...)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = float64(i+1) / float64(len(xs))
+	}
+	return xs, ys
+}
+
+// Table renders the CDF as rows at the given x grid, formatted like the
+// paper's figures (x then F(x)).
+func (c *CDF) Table(grid []float64) string {
+	var b strings.Builder
+	for _, x := range grid {
+		fmt.Fprintf(&b, "%8.3f  %6.3f\n", x, c.At(x))
+	}
+	return b.String()
+}
+
+// RatioSummary summarizes the per-trace ratio between two series, the Figure
+// 2 quantity (QoE of the non-targeted protocol over QoE of the target).
+type RatioSummary struct {
+	Mean float64
+	P95  float64
+	Max  float64
+	// FractionTargetWorse is the fraction of traces where the denominator
+	// (the targeted protocol) did worse, i.e. ratio > 1.
+	FractionTargetWorse float64
+}
+
+// Ratios computes num[i]/den[i] summaries. Pairs where the denominator is
+// not positive are guarded by flooring the denominator at eps of the
+// numerator scale (QoE can be near zero or negative on adversarial traces;
+// the paper plots ratios of positive per-video QoE, so callers should shift
+// to a positive scale first — see ShiftPositive).
+func Ratios(num, den []float64) RatioSummary {
+	if len(num) != len(den) || len(num) == 0 {
+		panic("stats: Ratios needs equal non-empty slices")
+	}
+	rs := make([]float64, len(num))
+	worse := 0
+	for i := range num {
+		d := den[i]
+		if d <= 1e-9 {
+			d = 1e-9
+		}
+		rs[i] = num[i] / d
+		if rs[i] > 1 {
+			worse++
+		}
+	}
+	return RatioSummary{
+		Mean:                Mean(rs),
+		P95:                 Percentile(rs, 95),
+		Max:                 Max(rs),
+		FractionTargetWorse: float64(worse) / float64(len(rs)),
+	}
+}
+
+// ShiftPositive returns copies of the slices shifted by a common offset so
+// every value is at least floor (> 0). It returns the applied offset.
+func ShiftPositive(floor float64, series ...[]float64) ([][]float64, float64) {
+	lo := math.Inf(1)
+	for _, s := range series {
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+		}
+	}
+	offset := 0.0
+	if lo < floor {
+		offset = floor - lo
+	}
+	out := make([][]float64, len(series))
+	for i, s := range series {
+		out[i] = make([]float64, len(s))
+		for j, v := range s {
+			out[i][j] = v + offset
+		}
+	}
+	return out, offset
+}
+
+// ASCIIPlot renders a series as a crude terminal plot (height rows), for the
+// time-series figures (3, 5, 6).
+func ASCIIPlot(series []float64, width, height int, label string) string {
+	if len(series) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	// Downsample to width columns.
+	cols := make([]float64, width)
+	for i := range cols {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range series[lo:min(hi, len(series))] {
+			sum += v
+		}
+		cols[i] = sum / float64(hi-lo)
+	}
+	minV, maxV := Min(cols), Max(cols)
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for cIdx, v := range cols {
+		row := int((v - minV) / (maxV - minV) * float64(height-1))
+		grid[height-1-row][cIdx] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [min=%.3g max=%.3g]\n", label, minV, maxV)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CI is a two-sided confidence interval for a statistic.
+type CI struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+}
+
+// BootstrapMeanCI estimates a confidence interval for the mean of xs by the
+// percentile bootstrap with the given number of resamples. rand supplies
+// uniform deviates in [0,1) (pass a seeded source for reproducibility).
+// conf is the coverage, e.g. 0.95.
+func BootstrapMeanCI(xs []float64, conf float64, resamples int, rand func() float64) CI {
+	if len(xs) == 0 {
+		return CI{}
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	n := len(xs)
+	means := make([]float64, resamples)
+	for b := 0; b < resamples; b++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[int(rand()*float64(n))]
+		}
+		means[b] = sum / float64(n)
+	}
+	alpha := (1 - conf) / 2
+	return CI{
+		Point: Mean(xs),
+		Lo:    Percentile(means, 100*alpha),
+		Hi:    Percentile(means, 100*(1-alpha)),
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extremes")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Errorf("median %v", Percentile(xs, 50))
+	}
+	// 25th percentile of 5 points: rank 1.0 exactly → 2.
+	if Percentile(xs, 25) != 2 {
+		t.Errorf("p25 %v", Percentile(xs, 25))
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interp %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		p = math.Mod(math.Abs(p), 100)
+		got := Percentile(xs, p)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return got >= s[0]-1e-9 && got <= s[len(s)-1]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if c.N() != 4 {
+		t.Error("N")
+	}
+	if c.At(0.5) != 0 {
+		t.Error("below min")
+	}
+	if c.At(2) != 0.75 {
+		t.Errorf("At(2) = %v", c.At(2))
+	}
+	if c.At(3) != 1 {
+		t.Error("at max")
+	}
+	if c.Quantile(0.5) != 2 {
+		t.Errorf("median %v", c.Quantile(0.5))
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3, 3, 9, 2})
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs, ys := NewCDF([]float64{2, 1}).Points()
+	if xs[0] != 1 || xs[1] != 2 || ys[0] != 0.5 || ys[1] != 1 {
+		t.Fatalf("points %v %v", xs, ys)
+	}
+}
+
+func TestCDFTableRenders(t *testing.T) {
+	out := NewCDF([]float64{1, 2, 3}).Table([]float64{0, 2, 4})
+	if !strings.Contains(out, "0.667") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	num := []float64{2, 3, 1}
+	den := []float64{1, 1, 2}
+	r := Ratios(num, den)
+	if math.Abs(r.Mean-(2+3+0.5)/3) > 1e-12 {
+		t.Errorf("mean %v", r.Mean)
+	}
+	if r.Max != 3 {
+		t.Errorf("max %v", r.Max)
+	}
+	if math.Abs(r.FractionTargetWorse-2.0/3) > 1e-12 {
+		t.Errorf("fraction %v", r.FractionTargetWorse)
+	}
+}
+
+func TestRatiosGuardsZeroDenominator(t *testing.T) {
+	r := Ratios([]float64{1}, []float64{0})
+	if math.IsInf(r.Mean, 0) || math.IsNaN(r.Mean) {
+		t.Fatalf("unguarded ratio %v", r.Mean)
+	}
+}
+
+func TestShiftPositive(t *testing.T) {
+	out, offset := ShiftPositive(0.1, []float64{-2, 0, 3}, []float64{1})
+	if offset != 2.1 {
+		t.Fatalf("offset %v", offset)
+	}
+	if math.Abs(out[0][0]-0.1) > 1e-12 || out[0][2] != 5.1 || out[1][0] != 3.1 {
+		t.Fatalf("shifted %v", out)
+	}
+	// Already positive: no shift.
+	_, offset = ShiftPositive(0.1, []float64{1, 2})
+	if offset != 0 {
+		t.Fatalf("unnecessary offset %v", offset)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = math.Sin(float64(i) / 10)
+	}
+	out := ASCIIPlot(series, 40, 8, "sine")
+	if !strings.Contains(out, "sine") || strings.Count(out, "\n") < 9 {
+		t.Fatalf("plot:\n%s", out)
+	}
+	if ASCIIPlot(nil, 40, 8, "x") != "" {
+		t.Fatal("empty series should render nothing")
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{3, -1, 4}
+	if Min(xs) != -1 || Max(xs) != 4 || Mean(xs) != 2 {
+		t.Fatal("aggregates wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	// Deterministic uniform source.
+	seed := uint64(12345)
+	rand := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / (1 << 53)
+	}
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10) // mean 4.5
+	}
+	ci := BootstrapMeanCI(xs, 0.95, 500, rand)
+	if ci.Point != 4.5 {
+		t.Fatalf("point %v", ci.Point)
+	}
+	if ci.Lo > 4.5 || ci.Hi < 4.5 {
+		t.Fatalf("CI [%v, %v] excludes the sample mean", ci.Lo, ci.Hi)
+	}
+	if ci.Hi-ci.Lo > 1.5 || ci.Hi-ci.Lo <= 0 {
+		t.Fatalf("CI width %v implausible for n=200", ci.Hi-ci.Lo)
+	}
+	if got := BootstrapMeanCI(nil, 0.95, 100, rand); got != (CI{}) {
+		t.Fatal("empty input should give zero CI")
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV parser against arbitrary input: it must
+// never panic, and anything it accepts must be a valid trace that survives a
+// write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = mkTrace().WriteCSV(&seed)
+	f.Add(seed.String())
+	f.Add("duration_s,bandwidth_mbps,latency_ms,loss_rate\n1,2,3,0\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(bytes.NewBufferString(input), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadCSV(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Points) != len(tr.Points) {
+			t.Fatal("round trip changed length")
+		}
+	})
+}

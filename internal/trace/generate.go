@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+
+	"advnet/internal/mathx"
+)
+
+// RandomConfig parameterizes the uniform random-trace generator the paper
+// uses as its baseline ("200 random traces generated using the same action
+// space as the adversary").
+type RandomConfig struct {
+	Points      int     // intervals per trace
+	Duration    float64 // seconds per interval
+	BandwidthLo float64 // Mbps
+	BandwidthHi float64
+	LatencyLo   float64 // ms
+	LatencyHi   float64
+	LossLo      float64
+	LossHi      float64
+}
+
+// GenerateRandom returns a trace whose conditions are drawn i.i.d. uniformly
+// from the configured ranges, one draw per interval.
+func GenerateRandom(rng *mathx.RNG, cfg RandomConfig, name string) *Trace {
+	t := &Trace{Name: name}
+	for i := 0; i < cfg.Points; i++ {
+		p := Point{
+			Duration:      cfg.Duration,
+			BandwidthMbps: rng.Uniform(cfg.BandwidthLo, cfg.BandwidthHi),
+		}
+		if cfg.LatencyHi > cfg.LatencyLo {
+			p.LatencyMs = rng.Uniform(cfg.LatencyLo, cfg.LatencyHi)
+		} else {
+			p.LatencyMs = cfg.LatencyLo
+		}
+		if cfg.LossHi > cfg.LossLo {
+			p.LossRate = rng.Uniform(cfg.LossLo, cfg.LossHi)
+		} else {
+			p.LossRate = cfg.LossLo
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t
+}
+
+// GenerateRandomDataset returns n random traces.
+func GenerateRandomDataset(rng *mathx.RNG, cfg RandomConfig, n int, name string) *Dataset {
+	d := &Dataset{Name: name}
+	for i := 0; i < n; i++ {
+		d.Traces = append(d.Traces, GenerateRandom(rng, cfg, fmt.Sprintf("%s-%03d", name, i)))
+	}
+	return d
+}
+
+// FCCLikeConfig parameterizes the synthetic broadband generator. The real FCC
+// "Measuring Broadband America" traces the paper trains on are steady
+// multi-Mbps fixed-line connections with mild short-term variation and rare
+// congestion dips; the generator reproduces those statistics with an AR(1)
+// process around a per-trace base rate plus occasional transient dips.
+type FCCLikeConfig struct {
+	Points   int     // intervals per trace
+	Duration float64 // seconds per interval
+	BaseLo   float64 // per-trace base bandwidth range, Mbps
+	BaseHi   float64
+	Jitter   float64 // AR(1) innovation stddev as a fraction of base
+	DipProb  float64 // per-interval probability of a transient dip
+	DipDepth float64 // dip multiplier in (0,1): bw *= DipDepth during a dip
+	MinMbps  float64 // floor
+}
+
+// DefaultFCCLike returns a configuration producing 48 four-second intervals
+// (one video's worth) of steady 1.8–4.6 Mbps broadband.
+func DefaultFCCLike() FCCLikeConfig {
+	return FCCLikeConfig{
+		Points:   48,
+		Duration: 4,
+		BaseLo:   1.8,
+		BaseHi:   4.6,
+		Jitter:   0.08,
+		DipProb:  0.02,
+		DipDepth: 0.45,
+		MinMbps:  0.3,
+	}
+}
+
+// GenerateFCCLike returns one synthetic broadband trace.
+func GenerateFCCLike(rng *mathx.RNG, cfg FCCLikeConfig, name string) *Trace {
+	base := rng.Uniform(cfg.BaseLo, cfg.BaseHi)
+	t := &Trace{Name: name}
+	bw := base
+	const rho = 0.85 // AR(1) pull toward the base rate
+	for i := 0; i < cfg.Points; i++ {
+		bw = base + rho*(bw-base) + rng.NormScaled(0, cfg.Jitter*base)
+		cur := bw
+		if rng.Bernoulli(cfg.DipProb) {
+			cur *= cfg.DipDepth
+		}
+		if cur < cfg.MinMbps {
+			cur = cfg.MinMbps
+		}
+		t.Points = append(t.Points, Point{
+			Duration:      cfg.Duration,
+			BandwidthMbps: cur,
+			LatencyMs:     40,
+		})
+	}
+	return t
+}
+
+// GenerateFCCLikeDataset returns n synthetic broadband traces.
+func GenerateFCCLikeDataset(rng *mathx.RNG, cfg FCCLikeConfig, n int, name string) *Dataset {
+	d := &Dataset{Name: name}
+	for i := 0; i < n; i++ {
+		d.Traces = append(d.Traces, GenerateFCCLike(rng, cfg, fmt.Sprintf("%s-%03d", name, i)))
+	}
+	return d
+}
+
+// ThreeGLikeConfig parameterizes the synthetic mobile generator. The Norway
+// 3G/HSDPA commute traces the paper tests on are volatile: throughput swings
+// between near-outage (tunnels, handovers) and several Mbps within seconds.
+// The generator uses a four-state Markov chain (outage, weak, fair, good)
+// with state-dependent bandwidth ranges.
+type ThreeGLikeConfig struct {
+	Points   int
+	Duration float64
+}
+
+// DefaultThreeGLike returns a configuration producing 48 four-second
+// intervals of volatile 0.05–6 Mbps mobile connectivity.
+func DefaultThreeGLike() ThreeGLikeConfig {
+	return ThreeGLikeConfig{Points: 48, Duration: 4}
+}
+
+// threeGState describes one Markov state of the mobile channel model.
+type threeGState struct {
+	lo, hi float64   // bandwidth range, Mbps
+	next   []float64 // transition weights to (outage, weak, fair, good)
+}
+
+var threeGStates = []threeGState{
+	// The outage floor is 0.1 Mbps rather than zero: the Pensieve
+	// simulator the paper builds on clamps its trace bandwidth at a small
+	// positive value, and a true-zero 4-second chunk interval makes QoE
+	// outage-dominated noise rather than a protocol comparison.
+	{0.10, 0.30, []float64{0.50, 0.40, 0.08, 0.02}}, // outage: sticky, exits to weak
+	{0.30, 0.90, []float64{0.12, 0.48, 0.33, 0.07}}, // weak
+	{0.90, 2.80, []float64{0.04, 0.18, 0.53, 0.25}}, // fair
+	{2.80, 6.00, []float64{0.02, 0.06, 0.30, 0.62}}, // good
+}
+
+// GenerateThreeGLike returns one synthetic mobile trace.
+func GenerateThreeGLike(rng *mathx.RNG, cfg ThreeGLikeConfig, name string) *Trace {
+	t := &Trace{Name: name}
+	state := 2 + rng.Intn(2) // start fair or good, like a commute leaving coverage
+	for i := 0; i < cfg.Points; i++ {
+		s := threeGStates[state]
+		t.Points = append(t.Points, Point{
+			Duration:      cfg.Duration,
+			BandwidthMbps: rng.Uniform(s.lo, s.hi),
+			LatencyMs:     80,
+		})
+		state = rng.Choice(s.next)
+	}
+	return t
+}
+
+// GenerateThreeGLikeDataset returns n synthetic mobile traces.
+func GenerateThreeGLikeDataset(rng *mathx.RNG, cfg ThreeGLikeConfig, n int, name string) *Dataset {
+	d := &Dataset{Name: name}
+	for i := 0; i < n; i++ {
+		d.Traces = append(d.Traces, GenerateThreeGLike(rng, cfg, fmt.Sprintf("%s-%03d", name, i)))
+	}
+	return d
+}
+
+// StepPattern builds a trace from explicit (duration, bandwidth) pairs with
+// fixed latency and zero loss — convenient for hand-crafted scenarios in
+// tests and examples.
+func StepPattern(name string, latencyMs float64, steps ...[2]float64) *Trace {
+	t := &Trace{Name: name}
+	for _, s := range steps {
+		t.Points = append(t.Points, Point{
+			Duration:      s[0],
+			BandwidthMbps: s[1],
+			LatencyMs:     latencyMs,
+		})
+	}
+	return t
+}
+
+// Constant returns a trace holding fixed conditions for the given duration.
+func Constant(name string, duration, bwMbps, latencyMs, loss float64) *Trace {
+	return &Trace{Name: name, Points: []Point{{
+		Duration:      duration,
+		BandwidthMbps: bwMbps,
+		LatencyMs:     latencyMs,
+		LossRate:      loss,
+	}}}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// SaveJSON writes the dataset to path as indented JSON.
+func (d *Dataset) SaveJSON(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadJSON reads a dataset previously written by SaveJSON and validates it.
+func LoadJSON(path string) (*Dataset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Dataset
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// WriteCSV writes the trace as CSV rows (duration, bandwidth, latency, loss)
+// with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"duration_s", "bandwidth_mbps", "latency_ms", "loss_rate"}); err != nil {
+		return err
+	}
+	for _, p := range t.Points {
+		rec := []string{
+			strconv.FormatFloat(p.Duration, 'g', -1, 64),
+			strconv.FormatFloat(p.BandwidthMbps, 'g', -1, 64),
+			strconv.FormatFloat(p.LatencyMs, 'g', -1, 64),
+			strconv.FormatFloat(p.LossRate, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV.
+func ReadCSV(r io.Reader, name string) (*Trace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("trace: CSV has no data rows")
+	}
+	t := &Trace{Name: name}
+	for i, rec := range records[1:] {
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("trace: CSV row %d has %d fields, want 4", i+1, len(rec))
+		}
+		var vals [4]float64
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: CSV row %d field %d: %w", i+1, j, err)
+			}
+			vals[j] = v
+		}
+		t.Points = append(t.Points, Point{
+			Duration:      vals[0],
+			BandwidthMbps: vals[1],
+			LatencyMs:     vals[2],
+			LossRate:      vals[3],
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,173 @@
+// Package trace defines time-ordered network-condition traces — the paper's
+// central artifact ("a time-ordered list of network conditions like
+// bandwidth, latency and loss rate") — together with generators for the
+// random baseline and for synthetic stand-ins of the FCC-broadband [8] and
+// Norway-3G/HSDPA [19] datasets, and JSON/CSV serialization.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"advnet/internal/mathx"
+)
+
+// Point is one fixed-condition interval of a trace.
+type Point struct {
+	Duration      float64 `json:"duration"`  // seconds the conditions hold
+	BandwidthMbps float64 `json:"bandwidth"` // link capacity in Mbps
+	LatencyMs     float64 `json:"latency"`   // one-way propagation delay in ms
+	LossRate      float64 `json:"loss"`      // random loss probability in [0,1]
+}
+
+// Trace is a named sequence of condition intervals.
+type Trace struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Validate checks that every point has positive duration, non-negative
+// bandwidth and latency, and a loss rate in [0,1].
+func (t *Trace) Validate() error {
+	if len(t.Points) == 0 {
+		return errors.New("trace: empty trace")
+	}
+	for i, p := range t.Points {
+		switch {
+		case p.Duration <= 0 || math.IsNaN(p.Duration):
+			return fmt.Errorf("trace: point %d duration %v", i, p.Duration)
+		case p.BandwidthMbps < 0 || math.IsNaN(p.BandwidthMbps):
+			return fmt.Errorf("trace: point %d bandwidth %v", i, p.BandwidthMbps)
+		case p.LatencyMs < 0 || math.IsNaN(p.LatencyMs):
+			return fmt.Errorf("trace: point %d latency %v", i, p.LatencyMs)
+		case p.LossRate < 0 || p.LossRate > 1 || math.IsNaN(p.LossRate):
+			return fmt.Errorf("trace: point %d loss %v", i, p.LossRate)
+		}
+	}
+	return nil
+}
+
+// TotalDuration returns the sum of the point durations in seconds.
+func (t *Trace) TotalDuration() float64 {
+	var d float64
+	for _, p := range t.Points {
+		d += p.Duration
+	}
+	return d
+}
+
+// At returns the conditions in effect at the given time. Times beyond the end
+// of the trace wrap around (traces loop), matching how the Pensieve simulator
+// replays datasets.
+func (t *Trace) At(time float64) Point {
+	if len(t.Points) == 0 {
+		panic("trace: At on empty trace")
+	}
+	total := t.TotalDuration()
+	time = math.Mod(time, total)
+	if time < 0 {
+		time += total
+	}
+	for _, p := range t.Points {
+		if time < p.Duration {
+			return p
+		}
+		time -= p.Duration
+	}
+	return t.Points[len(t.Points)-1]
+}
+
+// Bandwidths returns the bandwidth series of the trace.
+func (t *Trace) Bandwidths() []float64 {
+	out := make([]float64, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.BandwidthMbps
+	}
+	return out
+}
+
+// MeanBandwidth returns the duration-weighted mean bandwidth in Mbps.
+func (t *Trace) MeanBandwidth() float64 {
+	var sum, dur float64
+	for _, p := range t.Points {
+		sum += p.BandwidthMbps * p.Duration
+		dur += p.Duration
+	}
+	if dur == 0 {
+		return 0
+	}
+	return sum / dur
+}
+
+// Smoothness returns the mean absolute difference between consecutive
+// bandwidth values — the quantity the paper's smoothing penalty suppresses.
+// Lower is smoother.
+func (t *Trace) Smoothness() float64 {
+	if len(t.Points) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(t.Points); i++ {
+		sum += math.Abs(t.Points[i].BandwidthMbps - t.Points[i-1].BandwidthMbps)
+	}
+	return sum / float64(len(t.Points)-1)
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Name: t.Name, Points: make([]Point, len(t.Points))}
+	copy(c.Points, t.Points)
+	return c
+}
+
+// Dataset is a collection of traces, e.g. a training or test set.
+type Dataset struct {
+	Name   string   `json:"name"`
+	Traces []*Trace `json:"traces"`
+}
+
+// Split partitions the dataset into train and test subsets, putting the first
+// floor(frac*len) traces in train. Callers should shuffle first if ordering
+// matters.
+func (d *Dataset) Split(frac float64) (train, test *Dataset) {
+	n := int(frac * float64(len(d.Traces)))
+	if n < 0 {
+		n = 0
+	}
+	if n > len(d.Traces) {
+		n = len(d.Traces)
+	}
+	train = &Dataset{Name: d.Name + "-train", Traces: d.Traces[:n]}
+	test = &Dataset{Name: d.Name + "-test", Traces: d.Traces[n:]}
+	return train, test
+}
+
+// Shuffle reorders the traces pseudo-randomly.
+func (d *Dataset) Shuffle(rng *mathx.RNG) {
+	rng.Shuffle(len(d.Traces), func(i, j int) {
+		d.Traces[i], d.Traces[j] = d.Traces[j], d.Traces[i]
+	})
+}
+
+// Merge returns a new dataset containing the traces of d followed by those of
+// other (shallow copies).
+func (d *Dataset) Merge(other *Dataset) *Dataset {
+	out := &Dataset{Name: d.Name + "+" + other.Name}
+	out.Traces = append(out.Traces, d.Traces...)
+	out.Traces = append(out.Traces, other.Traces...)
+	return out
+}
+
+// Validate validates every trace in the dataset.
+func (d *Dataset) Validate() error {
+	if len(d.Traces) == 0 {
+		return errors.New("trace: empty dataset")
+	}
+	for i, t := range d.Traces {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("trace %d (%s): %w", i, t.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"advnet/internal/mathx"
+)
+
+func mkTrace() *Trace {
+	return &Trace{Name: "t", Points: []Point{
+		{Duration: 2, BandwidthMbps: 1, LatencyMs: 10},
+		{Duration: 3, BandwidthMbps: 2, LatencyMs: 20},
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := mkTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := []*Trace{
+		{},
+		{Points: []Point{{Duration: 0, BandwidthMbps: 1}}},
+		{Points: []Point{{Duration: 1, BandwidthMbps: -1}}},
+		{Points: []Point{{Duration: 1, BandwidthMbps: 1, LossRate: 1.5}}},
+		{Points: []Point{{Duration: 1, BandwidthMbps: 1, LatencyMs: -2}}},
+		{Points: []Point{{Duration: math.NaN(), BandwidthMbps: 1}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestTotalDurationAndAt(t *testing.T) {
+	tr := mkTrace()
+	if tr.TotalDuration() != 5 {
+		t.Fatalf("TotalDuration = %v", tr.TotalDuration())
+	}
+	if tr.At(0).BandwidthMbps != 1 {
+		t.Error("At(0)")
+	}
+	if tr.At(1.99).BandwidthMbps != 1 {
+		t.Error("At(1.99)")
+	}
+	if tr.At(2).BandwidthMbps != 2 {
+		t.Error("At(2)")
+	}
+	// Wraparound: t=5 is the same as t=0, t=7 same as t=2.
+	if tr.At(5).BandwidthMbps != 1 {
+		t.Error("At(5) should wrap")
+	}
+	if tr.At(7).BandwidthMbps != 2 {
+		t.Error("At(7) should wrap")
+	}
+}
+
+func TestAtWrapProperty(t *testing.T) {
+	tr := mkTrace()
+	f := func(x float64) bool {
+		x = mathx.Clamp(math.Abs(x), 0, 1e6)
+		a := tr.At(x)
+		b := tr.At(x + tr.TotalDuration())
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBandwidthWeighted(t *testing.T) {
+	tr := mkTrace() // (2s @ 1) + (3s @ 2) => (2+6)/5 = 1.6
+	if got := tr.MeanBandwidth(); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("MeanBandwidth = %v", got)
+	}
+}
+
+func TestSmoothness(t *testing.T) {
+	flat := Constant("flat", 10, 3, 10, 0)
+	if flat.Smoothness() != 0 {
+		t.Error("constant trace should have 0 smoothness")
+	}
+	tr := &Trace{Points: []Point{
+		{Duration: 1, BandwidthMbps: 1},
+		{Duration: 1, BandwidthMbps: 3},
+		{Duration: 1, BandwidthMbps: 2},
+	}}
+	if got := tr.Smoothness(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Smoothness = %v, want 1.5", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := mkTrace()
+	c := tr.Clone()
+	c.Points[0].BandwidthMbps = 99
+	if tr.Points[0].BandwidthMbps == 99 {
+		t.Fatal("clone shares points")
+	}
+}
+
+func TestDatasetSplitMerge(t *testing.T) {
+	d := &Dataset{Name: "d"}
+	for i := 0; i < 10; i++ {
+		d.Traces = append(d.Traces, mkTrace())
+	}
+	train, test := d.Split(0.8)
+	if len(train.Traces) != 8 || len(test.Traces) != 2 {
+		t.Fatalf("split sizes %d/%d", len(train.Traces), len(test.Traces))
+	}
+	m := train.Merge(test)
+	if len(m.Traces) != 10 {
+		t.Fatalf("merge size %d", len(m.Traces))
+	}
+	// Degenerate fractions must not panic.
+	a, b := d.Split(-1)
+	if len(a.Traces) != 0 || len(b.Traces) != 10 {
+		t.Error("Split(-1)")
+	}
+	a, b = d.Split(2)
+	if len(a.Traces) != 10 || len(b.Traces) != 0 {
+		t.Error("Split(2)")
+	}
+}
+
+func TestGenerateRandomWithinBounds(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	cfg := RandomConfig{
+		Points: 200, Duration: 4,
+		BandwidthLo: 0.8, BandwidthHi: 4.8,
+		LatencyLo: 15, LatencyHi: 60,
+		LossLo: 0, LossHi: 0.1,
+	}
+	tr := GenerateRandom(rng, cfg, "r")
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Points {
+		if p.BandwidthMbps < 0.8 || p.BandwidthMbps >= 4.8 {
+			t.Fatalf("bandwidth %v out of range", p.BandwidthMbps)
+		}
+		if p.LatencyMs < 15 || p.LatencyMs >= 60 {
+			t.Fatalf("latency %v out of range", p.LatencyMs)
+		}
+		if p.LossRate < 0 || p.LossRate >= 0.1 {
+			t.Fatalf("loss %v out of range", p.LossRate)
+		}
+	}
+}
+
+func TestGenerateRandomFixedLatency(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	cfg := RandomConfig{Points: 5, Duration: 1, BandwidthLo: 1, BandwidthHi: 2, LatencyLo: 40}
+	tr := GenerateRandom(rng, cfg, "r")
+	for _, p := range tr.Points {
+		if p.LatencyMs != 40 {
+			t.Fatalf("latency %v, want fixed 40", p.LatencyMs)
+		}
+	}
+}
+
+func TestFCCLikeStatistics(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	d := GenerateFCCLikeDataset(rng, DefaultFCCLike(), 50, "fcc")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var means, stds []float64
+	for _, tr := range d.Traces {
+		bws := tr.Bandwidths()
+		means = append(means, mathx.Mean(bws))
+		stds = append(stds, mathx.StdDev(bws))
+	}
+	if m := mathx.Mean(means); m < 1.5 || m > 5 {
+		t.Fatalf("FCC-like mean bandwidth %v outside broadband range", m)
+	}
+	// Broadband is steady: per-trace std should be small relative to mean.
+	if cv := mathx.Mean(stds) / mathx.Mean(means); cv > 0.35 {
+		t.Fatalf("FCC-like coefficient of variation %v too high", cv)
+	}
+}
+
+func TestThreeGLikeStatistics(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	d := GenerateThreeGLikeDataset(rng, DefaultThreeGLike(), 50, "3g")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	outages := 0
+	for _, tr := range d.Traces {
+		for _, p := range tr.Points {
+			all = append(all, p.BandwidthMbps)
+			if p.BandwidthMbps < 0.3 {
+				outages++
+			}
+		}
+	}
+	if mathx.Min(all) > 0.35 {
+		t.Fatal("3G-like traces never visit outage conditions")
+	}
+	if mathx.Max(all) < 3 {
+		t.Fatal("3G-like traces never reach good conditions")
+	}
+	if outages == 0 {
+		t.Fatal("no outage intervals generated across 50 traces")
+	}
+}
+
+func TestThreeGMoreVolatileThanFCC(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	fcc := GenerateFCCLikeDataset(rng, DefaultFCCLike(), 30, "fcc")
+	g3 := GenerateThreeGLikeDataset(rng, DefaultThreeGLike(), 30, "3g")
+	cv := func(d *Dataset) float64 {
+		var cvs []float64
+		for _, tr := range d.Traces {
+			bws := tr.Bandwidths()
+			cvs = append(cvs, mathx.StdDev(bws)/(mathx.Mean(bws)+1e-9))
+		}
+		return mathx.Mean(cvs)
+	}
+	if cv(g3) <= cv(fcc) {
+		t.Fatalf("3G (cv=%v) should be more volatile than FCC (cv=%v)", cv(g3), cv(fcc))
+	}
+}
+
+func TestStepPatternAndConstant(t *testing.T) {
+	tr := StepPattern("s", 20, [2]float64{1, 5}, [2]float64{2, 10})
+	if len(tr.Points) != 2 || tr.Points[1].BandwidthMbps != 10 || tr.Points[0].LatencyMs != 20 {
+		t.Fatal("StepPattern wrong")
+	}
+	c := Constant("c", 30, 12, 25, 0.01)
+	if c.TotalDuration() != 30 || c.At(29).LossRate != 0.01 {
+		t.Fatal("Constant wrong")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	d := GenerateFCCLikeDataset(rng, DefaultFCCLike(), 3, "fcc")
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := d.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != 3 || got.Name != "fcc" {
+		t.Fatal("dataset metadata lost")
+	}
+	for i, tr := range got.Traces {
+		want := d.Traces[i]
+		if len(tr.Points) != len(want.Points) {
+			t.Fatal("points lost")
+		}
+		for j := range tr.Points {
+			if tr.Points[j] != want.Points[j] {
+				t.Fatalf("point %d/%d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mkTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Points {
+		if got.Points[i] != tr.Points[i] {
+			t.Fatalf("point %d changed: %+v vs %+v", i, got.Points[i], tr.Points[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("header only\n"), "x"); err == nil {
+		t.Fatal("accepted CSV with no data")
+	}
+	bad := "duration_s,bandwidth_mbps,latency_ms,loss_rate\n1,abc,0,0\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad), "x"); err == nil {
+		t.Fatal("accepted CSV with non-numeric field")
+	}
+}
+
+func TestDatasetShuffleDeterministic(t *testing.T) {
+	mk := func() *Dataset {
+		d := &Dataset{}
+		for i := 0; i < 20; i++ {
+			tr := mkTrace()
+			tr.Name = string(rune('a' + i))
+			d.Traces = append(d.Traces, tr)
+		}
+		d.Shuffle(mathx.NewRNG(9))
+		return d
+	}
+	a, b := mk(), mk()
+	for i := range a.Traces {
+		if a.Traces[i].Name != b.Traces[i].Name {
+			t.Fatal("shuffle not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestMahimahiRoundTripConstant(t *testing.T) {
+	tr := Constant("c", 2, 12, 20, 0) // 12 Mbps = 1 packet/ms
+	var buf bytes.Buffer
+	if err := tr.WriteMahimahi(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte("\n"))
+	if lines != 2000 {
+		t.Fatalf("%d delivery opportunities for 2s at 12 Mbps, want 2000", lines)
+	}
+	back, err := ReadMahimahi(&buf, 1000, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 {
+		t.Fatalf("%d intervals", len(back.Points))
+	}
+	for _, p := range back.Points {
+		if math.Abs(p.BandwidthMbps-12) > 0.1 {
+			t.Fatalf("bandwidth %v, want 12", p.BandwidthMbps)
+		}
+	}
+}
+
+func TestMahimahiPreservesMeanBandwidthProperty(t *testing.T) {
+	rng := mathx.NewRNG(77)
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		cfg := RandomConfig{Points: 6, Duration: 1, BandwidthLo: 0.5, BandwidthHi: 20}
+		tr := GenerateRandom(r, cfg, "m")
+		var buf bytes.Buffer
+		if err := tr.WriteMahimahi(&buf); err != nil {
+			return false
+		}
+		back, err := ReadMahimahi(&buf, 6000, "back") // one interval spanning everything
+		if err != nil {
+			return false
+		}
+		// Mean bandwidth must survive within one packet-per-interval
+		// quantization.
+		return math.Abs(back.MeanBandwidth()-tr.MeanBandwidth()) < 0.1
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMahimahiLowRate(t *testing.T) {
+	// 0.12 Mbps = one packet per 100 ms: fractional credit must accumulate.
+	tr := Constant("slow", 1, 0.12, 20, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteMahimahi(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte("\n"))
+	if lines != 10 {
+		t.Fatalf("%d opportunities for 1s at 0.12 Mbps, want 10", lines)
+	}
+}
+
+func TestReadMahimahiRejectsGarbage(t *testing.T) {
+	if _, err := ReadMahimahi(bytes.NewBufferString("abc\n"), 1000, "x"); err == nil {
+		t.Fatal("accepted non-numeric line")
+	}
+	if _, err := ReadMahimahi(bytes.NewBufferString("-5\n"), 1000, "x"); err == nil {
+		t.Fatal("accepted negative timestamp")
+	}
+	if _, err := ReadMahimahi(bytes.NewBufferString(""), 1000, "x"); err == nil {
+		t.Fatal("accepted empty schedule")
+	}
+}
