@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The worker pool (internal/rl/vec.go) is the only concurrent code in the
+# repository; the race detector over the full test suite is the check that
+# keeps it that way.
+race:
+	$(GO) test -race ./...
+
+# Micro-benchmarks for the NN hot path (must report 0 allocs/op) and the
+# parallel PPO iteration (W=1 vs W=4). Results are recorded in EXPERIMENTS.md.
+bench:
+	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkPPOTrainIteration' -benchmem .
+
+# Tier-1 verification: build + tests, plus vet and the race detector.
+verify: build vet test race

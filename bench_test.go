@@ -6,9 +6,15 @@
 package advnet
 
 import (
+	"fmt"
 	"testing"
 
+	"advnet/internal/abr"
+	"advnet/internal/core"
 	"advnet/internal/experiments"
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
 )
 
 // benchConfig returns the budget used by the benchmark harness: the Fast
@@ -244,6 +250,84 @@ func BenchmarkAblationOnlineVsTraceBased(b *testing.B) {
 		b.ReportMetric(res.OnlineTargetQoE, "onlineTargetQoE")
 		b.ReportMetric(res.TraceTargetQoE, "traceTargetQoE")
 		b.ReportMetric(res.RandomTargetQoE, "randomTargetQoE")
+	}
+}
+
+// BenchmarkMLPForward measures the cached forward pass of the hot-path MLP
+// shape (the ABR adversary's 32-16 network). The Into variants reuse a
+// caller-held cache, so the steady state must be allocation-free.
+func BenchmarkMLPForward(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	m := nn.NewMLP(rng, []int{24, 32, 16, 1}, nn.Tanh)
+	cache := m.NewCache()
+	x := make([]float64, 24)
+	for i := range x {
+		x[i] = rng.Uniform(-1, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardInto(cache, x)
+	}
+}
+
+// BenchmarkMLPBackward measures the cached backward pass (gradient
+// accumulation into the network's grad buffers; also allocation-free).
+func BenchmarkMLPBackward(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	m := nn.NewMLP(rng, []int{24, 32, 16, 1}, nn.Tanh)
+	cache := m.NewCache()
+	x := make([]float64, 24)
+	for i := range x {
+		x[i] = rng.Uniform(-1, 1)
+	}
+	m.ForwardInto(cache, x)
+	dOut := []float64{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.BackwardInto(cache, dOut)
+	}
+}
+
+// BenchmarkPPOTrainIteration measures one full PPO iteration (rollout
+// collection + minibatch update) of the ABR adversary against MPC, with the
+// single-threaded path and the 4-worker pool. On a multi-core machine W=4
+// should approach a 4× speedup of the collection phase; on one core it mainly
+// measures the pool's bookkeeping overhead.
+func BenchmarkPPOTrainIteration(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("W=%d", workers), func(b *testing.B) {
+			video := abr.NewVideo(mathx.NewRNG(1), abr.DefaultVideoConfig())
+			cfg := core.DefaultABRAdversaryConfig()
+			rng := mathx.NewRNG(7)
+			adv := core.NewABRAdversary(rng, video.Levels(), cfg)
+			env := core.NewABREnv(video, abr.NewMPC(), cfg)
+			value := nn.NewMLP(rng, []int{env.ObservationSize(), 32, 16, 1}, nn.Tanh)
+			pcfg := rl.DefaultPPOConfig()
+			pcfg.RolloutSteps = 512
+			ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			step := func() { ppo.TrainIteration(env) }
+			if workers > 1 {
+				factory, err := core.ABREnvFactory(video, abr.NewMPC(), cfg, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v, err := rl.NewVecRunner(ppo, factory, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				step = func() { v.TrainIteration() }
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 	n := flag.Int("n", 50, "number of traces to generate with -traces-out")
 	iters := flag.Int("iters", 0, "PPO iterations (0 = domain default)")
 	seed := flag.Uint64("seed", 1, "training seed")
+	workers := flag.Int("workers", 1, "parallel rollout workers (1 = historical single-threaded path)")
 	flag.Parse()
 
 	rng := mathx.NewRNG(*seed)
@@ -52,7 +53,8 @@ func main() {
 		if *iters > 0 {
 			opt.Iterations = *iters
 		}
-		log.Printf("training ABR adversary against %s for %d iterations...", proto.Name(), opt.Iterations)
+		opt.Workers = *workers
+		log.Printf("training ABR adversary against %s for %d iterations (%d workers)...", proto.Name(), opt.Iterations, *workers)
 		adv, stats, err := core.TrainABRAdversary(video, proto, core.DefaultABRAdversaryConfig(), opt, rng)
 		if err != nil {
 			log.Fatal(err)
@@ -92,7 +94,8 @@ func main() {
 		if *iters > 0 {
 			opt.Iterations = *iters
 		}
-		log.Printf("training CC adversary against %s for %d iterations...", *target, opt.Iterations)
+		opt.Workers = *workers
+		log.Printf("training CC adversary against %s for %d iterations (%d workers)...", *target, opt.Iterations, *workers)
 		adv, stats, err := core.TrainCCAdversary(newCC, core.DefaultCCAdversaryConfig(), opt, rng)
 		if err != nil {
 			log.Fatal(err)

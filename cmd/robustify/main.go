@@ -30,6 +30,7 @@ func main() {
 	advIters := flag.Int("adv-iters", 80, "adversary PPO iterations")
 	nTraces := flag.Int("n", 25, "adversarial traces to inject")
 	seed := flag.Uint64("seed", 1, "training seed")
+	workers := flag.Int("workers", 1, "parallel rollout workers for both the protocol and the adversary (1 = single-threaded)")
 	flag.Parse()
 
 	var ds *trace.Dataset
@@ -54,9 +55,10 @@ func main() {
 	cfg.TotalIterations = *iters
 	cfg.InjectAtFrac = *inject
 	cfg.AdversarialTraces = *nTraces
-	cfg.AdvOpt = core.ABRTrainOptions{Iterations: *advIters, RolloutSteps: 1536, LR: 1e-3}
+	cfg.AdvOpt = core.ABRTrainOptions{Iterations: *advIters, RolloutSteps: 1536, LR: 1e-3, Workers: *workers}
+	cfg.Workers = *workers
 
-	log.Printf("training on %q (%d traces), injecting at %.0f%%...", ds.Name, len(ds.Traces), 100**inject)
+	log.Printf("training on %q (%d traces), injecting at %.0f%%, %d workers...", ds.Name, len(ds.Traces), 100**inject, *workers)
 	res, err := core.TrainRobustPensieve(video, ds, cfg, rng.Split())
 	if err != nil {
 		log.Fatal(err)

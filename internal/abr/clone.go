@@ -1,0 +1,54 @@
+package abr
+
+import "fmt"
+
+// CloneableProtocol is implemented by protocols that can produce an
+// independent copy of themselves. Parallel rollout workers each drive their
+// own protocol instance, so anything with per-session state (MPC's
+// prediction-error window) or internal scratch buffers (Pensieve's policy)
+// must be cloned rather than shared across goroutines.
+type CloneableProtocol interface {
+	Protocol
+	// CloneProtocol returns a copy with identical configuration and
+	// freshly reset per-session state.
+	CloneProtocol() Protocol
+}
+
+// CloneProtocol copies a protocol for use on another rollout worker,
+// erroring on types that have not opted in via CloneableProtocol.
+func CloneProtocol(p Protocol) (Protocol, error) {
+	if c, ok := p.(CloneableProtocol); ok {
+		return c.CloneProtocol(), nil
+	}
+	return nil, fmt.Errorf("abr: protocol %q (%T) does not support cloning", p.Name(), p)
+}
+
+// CloneProtocol implements CloneableProtocol (BB is a stateless value).
+func (b *BB) CloneProtocol() Protocol { c := *b; return &c }
+
+// CloneProtocol implements CloneableProtocol (rate-based keeps no state).
+func (r *RateBased) CloneProtocol() Protocol { c := *r; return &c }
+
+// CloneProtocol implements CloneableProtocol (BOLA is stateless).
+func (b *BOLA) CloneProtocol() Protocol { c := *b; return &c }
+
+// CloneProtocol implements CloneableProtocol: configuration is copied, the
+// prediction-error window starts fresh (equivalent to a Reset copy).
+func (m *MPC) CloneProtocol() Protocol {
+	return &MPC{Horizon: m.Horizon, HistoryLen: m.HistoryLen, QoE: m.QoE}
+}
+
+// CloneProtocol implements CloneableProtocol: the policy network is deep-
+// copied so concurrent SelectLevel calls never share evaluation scratch.
+func (p *Pensieve) CloneProtocol() Protocol {
+	c := &Pensieve{Policy: p.Policy.Clone(), label: p.label}
+	return c
+}
+
+var (
+	_ CloneableProtocol = (*BB)(nil)
+	_ CloneableProtocol = (*RateBased)(nil)
+	_ CloneableProtocol = (*BOLA)(nil)
+	_ CloneableProtocol = (*MPC)(nil)
+	_ CloneableProtocol = (*Pensieve)(nil)
+)

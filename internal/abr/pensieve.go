@@ -175,6 +175,37 @@ func TrainPensieve(video *Video, dataset *trace.Dataset, iterations int, rng *ma
 	return NewPensieve(policy), ppo, nil
 }
 
+// TrainPensieveParallel is TrainPensieve with parallel rollout collection:
+// workers independent TrainEnv instances (each sampling traces with its own
+// RNG stream split deterministically from rng) collect every rollout via
+// rl.VecRunner. workers ≤ 1 falls back to the single-threaded TrainPensieve
+// path, which is bit-for-bit the historical behaviour.
+func TrainPensieveParallel(video *Video, dataset *trace.Dataset, iterations, workers int, rng *mathx.RNG) (*Pensieve, *rl.PPO, error) {
+	if workers <= 1 {
+		return TrainPensieve(video, dataset, iterations, rng)
+	}
+	levels := video.Levels()
+	policy := rl.NewCategoricalPolicy(NewPensieveNet(rng, levels))
+	value := NewPensieveValueNet(rng, levels)
+	cfg := rl.DefaultPPOConfig()
+	cfg.RolloutSteps = 1024
+	cfg.LR = 1e-3
+	ppo, err := rl.NewPPO(policy, value, cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	rngs := make([]*mathx.RNG, workers)
+	for i := range rngs {
+		rngs[i] = rng.Split()
+	}
+	if _, err := ppo.TrainParallel(func(worker int) rl.Env {
+		return NewTrainEnv(video, dataset, DefaultSessionConfig(), 0.08, rngs[worker])
+	}, workers, iterations); err != nil {
+		return nil, nil, err
+	}
+	return NewPensieve(policy), ppo, nil
+}
+
 // TrainPensieveA2C trains a Pensieve agent with synchronous advantage
 // actor-critic — the single-worker equivalent of the A3C algorithm the
 // original Pensieve [17] used — instead of PPO. Useful as a training-regime

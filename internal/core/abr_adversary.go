@@ -275,6 +275,12 @@ type ABRTrainOptions struct {
 	// to weak local attacks); restart selection makes the generated
 	// traces reliably strong.
 	Restarts int
+	// Workers > 1 collects each rollout with that many parallel
+	// environment instances (rl.VecRunner); RolloutSteps are split across
+	// workers, so the data volume per iteration is unchanged. Workers ≤ 1
+	// keeps the single-threaded path, which is bit-for-bit the historical
+	// behaviour.
+	Workers int
 }
 
 // DefaultABRTrainOptions returns settings sized for the repository's
@@ -339,9 +345,40 @@ func trainABRAdversaryOnce(video *abr.Video, target abr.Protocol, cfg ABRAdversa
 	if err != nil {
 		return nil, nil, err
 	}
+	if opt.Workers > 1 {
+		factory, err := ABREnvFactory(video, target, cfg, opt.Workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats, err := ppo.TrainParallel(factory, opt.Workers, opt.Iterations)
+		if err != nil {
+			return nil, nil, err
+		}
+		return adv, stats, nil
+	}
 	env := NewABREnv(video, target, cfg)
 	stats := ppo.Train(env, opt.Iterations)
 	return adv, stats, nil
+}
+
+// ABREnvFactory returns an rl.EnvFactory producing one independent adversary
+// environment per rollout worker. Worker 0 drives the original target
+// protocol; higher workers drive clones (protocols carry per-session state
+// and evaluation scratch, so instances must not be shared across
+// goroutines). The target must implement abr.CloneableProtocol when workers
+// > 1.
+func ABREnvFactory(video *abr.Video, target abr.Protocol, cfg ABRAdversaryConfig, workers int) (rl.EnvFactory, error) {
+	targets := []abr.Protocol{target}
+	for i := 1; i < workers; i++ {
+		c, err := abr.CloneProtocol(target)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, c)
+	}
+	return func(worker int) rl.Env {
+		return NewABREnv(video, targets[worker], cfg)
+	}, nil
 }
 
 // TrainABRAdversaryNaive trains an adversary with the naive −r_protocol

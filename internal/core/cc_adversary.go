@@ -247,6 +247,14 @@ type CCTrainOptions struct {
 	LR           float64
 	Gamma        float64 // discount; the attack's payoff arrives ~10 BBR
 	Lambda       float64 // round trips after the action, so long horizons help
+	// Workers > 1 collects each rollout with that many parallel emulator
+	// instances (rl.VecRunner); RolloutSteps are split across workers, so
+	// the data volume per iteration is unchanged. Each worker's emulator
+	// gets its own RNG stream split deterministically from the training
+	// RNG, and newCC must be safe to call from multiple goroutines.
+	// Workers ≤ 1 keeps the single-threaded path, which is bit-for-bit
+	// the historical behaviour.
+	Workers int
 }
 
 // DefaultCCTrainOptions returns settings sized for the repository's
@@ -277,9 +285,31 @@ func TrainCCAdversary(newCC func() netem.CongestionController, cfg CCAdversaryCo
 	if err != nil {
 		return nil, nil, err
 	}
+	if opt.Workers > 1 {
+		factory := CCEnvFactory(newCC, cfg, rng, opt.Workers)
+		stats, err := ppo.TrainParallel(factory, opt.Workers, opt.Iterations)
+		if err != nil {
+			return nil, nil, err
+		}
+		return adv, stats, nil
+	}
 	env := NewCCEnv(newCC, cfg, rng.Split())
 	stats := ppo.Train(env, opt.Iterations)
 	return adv, stats, nil
+}
+
+// CCEnvFactory returns an rl.EnvFactory producing one CCEnv per rollout
+// worker. The per-worker emulator RNG streams are split from rng up front, in
+// worker order, so the resulting environments are deterministic for a fixed
+// worker count regardless of when the factory is invoked.
+func CCEnvFactory(newCC func() netem.CongestionController, cfg CCAdversaryConfig, rng *mathx.RNG, workers int) rl.EnvFactory {
+	rngs := make([]*mathx.RNG, workers)
+	for i := range rngs {
+		rngs[i] = rng.Split()
+	}
+	return func(worker int) rl.Env {
+		return NewCCEnv(newCC, cfg, rngs[worker])
+	}
 }
 
 // RunEpisode plays the adversary online against a fresh target for one

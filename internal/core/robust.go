@@ -29,6 +29,12 @@ type RobustTrainConfig struct {
 	RolloutSteps int
 	LR           float64
 	RTTSeconds   float64
+	// Workers > 1 collects the protocol's training rollouts (phases 1 and
+	// 4) with that many parallel sessions, each replaying traces with its
+	// own RNG stream. The adversary of step (2) parallelizes separately
+	// via AdvOpt.Workers. Workers ≤ 1 is the historical single-threaded
+	// path.
+	Workers int
 }
 
 // DefaultRobustTrainConfig returns a pipeline configuration sized for the
@@ -84,9 +90,29 @@ func TrainRobustPensieve(video *abr.Video, dataset *trace.Dataset, cfg RobustTra
 		}
 	}
 
+	// trainPhase runs one protocol-training phase on the given dataset,
+	// parallelizing rollout collection when cfg.Workers > 1. Each worker
+	// replays traces with its own deterministic RNG stream.
+	trainPhase := func(ds *trace.Dataset, iterations int) error {
+		if cfg.Workers > 1 {
+			rngs := make([]*mathx.RNG, cfg.Workers)
+			for i := range rngs {
+				rngs[i] = rng.Split()
+			}
+			_, err := ppo.TrainParallel(func(worker int) rl.Env {
+				return abr.NewTrainEnv(video, ds, abr.DefaultSessionConfig(), cfg.RTTSeconds, rngs[worker])
+			}, cfg.Workers, iterations)
+			return err
+		}
+		env := abr.NewTrainEnv(video, ds, abr.DefaultSessionConfig(), cfg.RTTSeconds, rng.Split())
+		ppo.Train(env, iterations)
+		return nil
+	}
+
 	// Step 1: train the protocol of interest.
-	env := abr.NewTrainEnv(video, dataset, abr.DefaultSessionConfig(), cfg.RTTSeconds, rng.Split())
-	ppo.Train(env, phase1)
+	if err := trainPhase(dataset, phase1); err != nil {
+		return nil, err
+	}
 	agent := abr.NewPensieve(policy)
 
 	res := &RobustTrainResult{Protocol: agent, Phase1Iterations: phase1}
@@ -108,9 +134,10 @@ func TrainRobustPensieve(video *abr.Video, dataset *trace.Dataset, cfg RobustTra
 	// Step 4: continue training with the adversarial traces in the
 	// training dataset.
 	merged := dataset.Merge(advTraces)
-	env2 := abr.NewTrainEnv(video, merged, abr.DefaultSessionConfig(), cfg.RTTSeconds, rng.Split())
 	res.Phase2Iterations = cfg.TotalIterations - phase1
-	ppo.Train(env2, res.Phase2Iterations)
+	if err := trainPhase(merged, res.Phase2Iterations); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

@@ -116,6 +116,12 @@ type TraceTrainOptions struct {
 	Iterations   int
 	RolloutSteps int // whole traces evaluated per iteration
 	LR           float64
+	// Workers > 1 evaluates the per-iteration traces with that many
+	// parallel sessions (rl.VecRunner), each driving its own clone of the
+	// target protocol. Trace evaluation dominates training cost here (§2.1
+	// calls this approach slow), so it parallelizes well. Workers ≤ 1 is
+	// the historical single-threaded path.
+	Workers int
 }
 
 // DefaultTraceTrainOptions returns defaults; note each rollout step costs a
@@ -137,6 +143,27 @@ func TrainTraceAdversary(video *abr.Video, target abr.Protocol, cfg TraceAdversa
 	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opt.Workers > 1 {
+		// Each worker drives its own protocol clone: targets with
+		// per-session state (MPC's error window, Pensieve's evaluation
+		// scratch) must not be shared across goroutines.
+		targets := make([]abr.Protocol, opt.Workers)
+		targets[0] = target
+		for i := 1; i < opt.Workers; i++ {
+			clone, cerr := abr.CloneProtocol(target)
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			targets[i] = clone
+		}
+		stats, perr := ppo.TrainParallel(func(worker int) rl.Env {
+			return &traceEnv{adv: adv, video: video, target: targets[worker]}
+		}, opt.Workers, opt.Iterations)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		return adv, stats, nil
 	}
 	env := &traceEnv{adv: adv, video: video, target: target}
 	stats := ppo.Train(env, opt.Iterations)

@@ -1,0 +1,102 @@
+package nn
+
+import "fmt"
+
+// BatchCache holds row-major activations for a multi-sample forward pass and
+// the scratch needed to run the matching backward pass. It is sized for a
+// maximum batch size and reused across minibatches, so the PPO update loop
+// performs no per-step allocations.
+//
+// ForwardBatch/BackwardBatch are exact batched transcriptions of the
+// per-sample ForwardInto/BackwardInto: every sample is processed with the
+// same instruction sequence, and BackwardBatch accumulates each sample's
+// parameter gradients in sample order. A batched pass is therefore
+// bit-for-bit identical to the equivalent sequence of per-sample passes.
+type BatchCache struct {
+	capacity int
+	n        int // rows in the last ForwardBatch
+	// acts[0] is the input matrix; acts[i] the (post-activation) output of
+	// layer i-1. Each is capacity×width_i, row-major.
+	acts [][]float64
+	// drow[i] is a single-row backward scratch of width_i.
+	drow [][]float64
+}
+
+// NewBatchCache returns a cache able to hold up to capacity samples.
+func (m *MLP) NewBatchCache(capacity int) *BatchCache {
+	if capacity <= 0 {
+		panic("nn: NewBatchCache with non-positive capacity")
+	}
+	c := &BatchCache{capacity: capacity}
+	widths := m.Sizes()
+	c.acts = make([][]float64, len(widths))
+	c.drow = make([][]float64, len(widths))
+	for i, w := range widths {
+		c.acts[i] = make([]float64, capacity*w)
+		c.drow[i] = make([]float64, w)
+	}
+	return c
+}
+
+// Capacity returns the maximum batch size the cache can hold.
+func (c *BatchCache) Capacity() int { return c.capacity }
+
+// ForwardBatch runs the network on n samples stored row-major in xs
+// (n×InputSize) and returns the output matrix (n×OutputSize), aliased into
+// the cache. No allocations.
+func (m *MLP) ForwardBatch(c *BatchCache, xs []float64, n int) []float64 {
+	in := m.InputSize()
+	if len(xs) < n*in {
+		panic(fmt.Sprintf("nn: ForwardBatch input has %d values, want %d", len(xs), n*in))
+	}
+	if n > c.capacity {
+		panic(fmt.Sprintf("nn: ForwardBatch n=%d exceeds cache capacity %d", n, c.capacity))
+	}
+	c.n = n
+	copy(c.acts[0][:n*in], xs[:n*in])
+	for i, l := range m.layers {
+		xm := c.acts[i]
+		ym := c.acts[i+1]
+		for r := 0; r < n; r++ {
+			x := xm[r*l.In : (r+1)*l.In]
+			y := ym[r*l.Out : (r+1)*l.Out]
+			l.forward(x, y)
+			if i < len(m.layers)-1 {
+				for j := range y {
+					y[j] = m.hidden.apply(y[j])
+				}
+			}
+		}
+	}
+	return c.acts[len(m.layers)][:n*m.OutputSize()]
+}
+
+// BackwardBatch accumulates parameter gradients for every sample of the last
+// ForwardBatch through c, given dOut, the row-major (n×OutputSize) gradient
+// of the loss w.r.t. the network outputs. Samples are processed in row
+// order, so the accumulated gradients match n sequential per-sample Backward
+// calls exactly. Gradients accumulate across calls until ZeroGrad.
+func (m *MLP) BackwardBatch(c *BatchCache, dOut []float64) {
+	out := m.OutputSize()
+	n := c.n
+	if len(dOut) < n*out {
+		panic(fmt.Sprintf("nn: BackwardBatch gradient has %d values, want %d", len(dOut), n*out))
+	}
+	last := len(m.layers) - 1
+	for r := 0; r < n; r++ {
+		grad := c.drow[last+1]
+		copy(grad, dOut[r*out:(r+1)*out])
+		for i := last; i >= 0; i-- {
+			l := m.layers[i]
+			if i < last {
+				y := c.acts[i+1][r*l.Out : (r+1)*l.Out]
+				for j := range grad {
+					grad[j] *= m.hidden.derivFromOutput(y[j])
+				}
+			}
+			dX := c.drow[i]
+			l.backward(c.acts[i][r*l.In:(r+1)*l.In], grad, dX)
+			grad = dX
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"testing"
+
+	"advnet/internal/mathx"
+)
+
+// makeBatch builds n deterministic input rows for an MLP with input size in.
+func makeBatch(rng *mathx.RNG, n, in int) []float64 {
+	xs := make([]float64, n*in)
+	for i := range xs {
+		xs[i] = rng.Uniform(-2, 2)
+	}
+	return xs
+}
+
+func TestForwardIntoMatchesForward(t *testing.T) {
+	rng := mathx.NewRNG(41)
+	m := NewMLP(rng, []int{4, 6, 3}, Tanh)
+	c := m.NewCache()
+	for trial := 0; trial < 20; trial++ {
+		x := makeBatch(rng, 1, 4)
+		want := m.Predict(x)
+		got := m.ForwardInto(c, x)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d out[%d]: ForwardInto %v, Forward %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBackwardIntoMatchesBackward(t *testing.T) {
+	rng := mathx.NewRNG(43)
+	a := NewMLP(rng, []int{3, 5, 2}, Tanh)
+	b := a.Clone()
+	x := []float64{0.4, -1.1, 0.7}
+	dOut := []float64{1.5, -0.25}
+
+	_, ca := a.Forward(x)
+	a.ZeroGrad()
+	dxa := a.Backward(ca, dOut)
+
+	cb := b.NewCache()
+	b.ForwardInto(cb, x)
+	b.ZeroGrad()
+	dxb := b.BackwardInto(cb, dOut)
+
+	for i := range dxa {
+		if dxa[i] != dxb[i] {
+			t.Fatalf("input grad[%d]: Backward %v, BackwardInto %v", i, dxa[i], dxb[i])
+		}
+	}
+	ga, gb := a.Grads(), b.Grads()
+	for pi := range ga {
+		for i := range ga[pi] {
+			if ga[pi][i] != gb[pi][i] {
+				t.Fatalf("grad[%d][%d]: Backward %v, BackwardInto %v", pi, i, ga[pi][i], gb[pi][i])
+			}
+		}
+	}
+}
+
+// TestBatchMatchesPerSampleBitwise: a batched forward/backward pass must be
+// bit-for-bit identical to the same samples processed one at a time — the
+// invariant the PPO minibatch update relies on for reproducibility.
+func TestBatchMatchesPerSampleBitwise(t *testing.T) {
+	rng := mathx.NewRNG(47)
+	for _, hidden := range []Activation{Tanh, ReLU, Identity} {
+		a := NewMLP(rng, []int{5, 7, 4, 2}, hidden)
+		b := a.Clone()
+		const n = 9
+		xs := makeBatch(rng, n, 5)
+		douts := makeBatch(rng, n, 2)
+
+		// Per-sample reference on a.
+		a.ZeroGrad()
+		seqOut := make([]float64, n*2)
+		ca := a.NewCache()
+		for r := 0; r < n; r++ {
+			out := a.ForwardInto(ca, xs[r*5:(r+1)*5])
+			copy(seqOut[r*2:], out)
+			a.BackwardInto(ca, douts[r*2:(r+1)*2])
+		}
+
+		// Batched on b.
+		b.ZeroGrad()
+		cb := b.NewBatchCache(n)
+		batchOut := b.ForwardBatch(cb, xs, n)
+		b.BackwardBatch(cb, douts)
+
+		for i := range seqOut {
+			if seqOut[i] != batchOut[i] {
+				t.Fatalf("hidden=%v out[%d]: per-sample %v, batch %v", hidden, i, seqOut[i], batchOut[i])
+			}
+		}
+		ga, gb := a.Grads(), b.Grads()
+		for pi := range ga {
+			for i := range ga[pi] {
+				if ga[pi][i] != gb[pi][i] {
+					t.Fatalf("hidden=%v grad[%d][%d]: per-sample %v, batch %v", hidden, pi, i, ga[pi][i], gb[pi][i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchCachePartialBatches(t *testing.T) {
+	rng := mathx.NewRNG(53)
+	m := NewMLP(rng, []int{3, 4, 2}, Tanh)
+	c := m.NewBatchCache(8)
+	xs := makeBatch(rng, 8, 3)
+	// A smaller batch through a larger cache must match per-sample output.
+	out := m.ForwardBatch(c, xs[:3*3], 3)
+	if len(out) != 3*2 {
+		t.Fatalf("output length %d, want 6", len(out))
+	}
+	for r := 0; r < 3; r++ {
+		want := m.Predict(xs[r*3 : (r+1)*3])
+		for j := range want {
+			if out[r*2+j] != want[j] {
+				t.Fatalf("row %d out[%d] mismatch", r, j)
+			}
+		}
+	}
+}
+
+func TestForwardIntoZeroAllocs(t *testing.T) {
+	rng := mathx.NewRNG(59)
+	m := NewMLP(rng, []int{6, 16, 8, 3}, Tanh)
+	c := m.NewCache()
+	x := makeBatch(rng, 1, 6)
+	if n := testing.AllocsPerRun(100, func() { m.ForwardInto(c, x) }); n != 0 {
+		t.Fatalf("ForwardInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestBackwardIntoZeroAllocs(t *testing.T) {
+	rng := mathx.NewRNG(61)
+	m := NewMLP(rng, []int{6, 16, 8, 3}, Tanh)
+	c := m.NewCache()
+	x := makeBatch(rng, 1, 6)
+	dOut := []float64{1, -1, 0.5}
+	m.ForwardInto(c, x)
+	m.BackwardInto(c, dOut) // warm the lazy scratch
+	if n := testing.AllocsPerRun(100, func() { m.BackwardInto(c, dOut) }); n != 0 {
+		t.Fatalf("BackwardInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestBatchZeroAllocs(t *testing.T) {
+	rng := mathx.NewRNG(67)
+	m := NewMLP(rng, []int{6, 16, 8, 3}, Tanh)
+	const n = 16
+	c := m.NewBatchCache(n)
+	xs := makeBatch(rng, n, 6)
+	douts := makeBatch(rng, n, 3)
+	if a := testing.AllocsPerRun(50, func() {
+		m.ForwardBatch(c, xs, n)
+		m.BackwardBatch(c, douts)
+	}); a != 0 {
+		t.Fatalf("batched fwd+bwd allocates %v per run, want 0", a)
+	}
+}

@@ -166,37 +166,72 @@ func (m *MLP) Sizes() []int {
 func (m *MLP) Hidden() Activation { return m.hidden }
 
 // Cache holds the per-layer activations of one forward pass, required to run
-// the matching backward pass.
+// the matching backward pass. A Cache may be reused across forward/backward
+// passes of the same network via ForwardInto/BackwardInto, which makes the
+// hot path allocation-free.
 type Cache struct {
 	// acts[0] is the input; acts[i] is the (post-activation) output of
 	// layer i-1. len(acts) == len(layers)+1.
 	acts [][]float64
+	// dacts mirrors acts and holds the backward pass's gradient w.r.t.
+	// each activation. Allocated lazily so caches built before a backward
+	// pass stay cheap.
+	dacts [][]float64
 }
 
 // Output returns the network output stored in the cache.
 func (c *Cache) Output() []float64 { return c.acts[len(c.acts)-1] }
 
-// Forward runs the network on x and returns the output along with a cache for
-// Backward. The returned slices are freshly allocated.
-func (m *MLP) Forward(x []float64) ([]float64, *Cache) {
+// NewCache returns a reusable cache pre-sized for m, for use with
+// ForwardInto/BackwardInto.
+func (m *MLP) NewCache() *Cache {
+	c := &Cache{acts: make([][]float64, len(m.layers)+1)}
+	c.acts[0] = make([]float64, m.InputSize())
+	for i, l := range m.layers {
+		c.acts[i+1] = make([]float64, l.Out)
+	}
+	return c
+}
+
+// ensureDacts lazily sizes the backward scratch to match acts.
+func (c *Cache) ensureDacts() {
+	if c.dacts != nil {
+		return
+	}
+	c.dacts = make([][]float64, len(c.acts))
+	for i, a := range c.acts {
+		c.dacts[i] = make([]float64, len(a))
+	}
+}
+
+// ForwardInto runs the network on x, storing activations in c (which must
+// come from m.NewCache or a previous m.Forward). It returns the output,
+// aliased into the cache, and performs no allocations.
+func (m *MLP) ForwardInto(c *Cache, x []float64) []float64 {
 	if len(x) != m.InputSize() {
 		panic(fmt.Sprintf("nn: Forward input size %d, want %d", len(x), m.InputSize()))
 	}
-	c := &Cache{acts: make([][]float64, len(m.layers)+1)}
-	c.acts[0] = mathx.CopyOf(x)
+	copy(c.acts[0], x)
 	cur := c.acts[0]
 	for i, l := range m.layers {
-		out := make([]float64, l.Out)
+		out := c.acts[i+1]
 		l.forward(cur, out)
 		if i < len(m.layers)-1 {
 			for j := range out {
 				out[j] = m.hidden.apply(out[j])
 			}
 		}
-		c.acts[i+1] = out
 		cur = out
 	}
-	return cur, c
+	return cur
+}
+
+// Forward runs the network on x and returns the output along with a cache for
+// Backward. The returned slices are freshly allocated; hot paths should hold
+// a cache from NewCache and use ForwardInto instead.
+func (m *MLP) Forward(x []float64) ([]float64, *Cache) {
+	c := m.NewCache()
+	return m.ForwardInto(c, x), c
 }
 
 // Predict runs the network on x and returns only the output.
@@ -205,15 +240,25 @@ func (m *MLP) Predict(x []float64) []float64 {
 	return out
 }
 
-// Backward accumulates parameter gradients from one sample given the cache of
-// its forward pass and dOut, the gradient of the loss w.r.t. the network
-// output. Gradients accumulate across calls until ZeroGrad. It returns the
-// gradient w.r.t. the network input.
-func (m *MLP) Backward(c *Cache, dOut []float64) []float64 {
+// PredictInto runs the network on x reusing c's scratch and returns the
+// output aliased into the cache (valid until the next pass through c).
+func (m *MLP) PredictInto(c *Cache, x []float64) []float64 {
+	return m.ForwardInto(c, x)
+}
+
+// BackwardInto accumulates parameter gradients from one sample given the
+// cache of its forward pass and dOut, the gradient of the loss w.r.t. the
+// network output. Gradients accumulate across calls until ZeroGrad. It
+// returns the gradient w.r.t. the network input, aliased into the cache's
+// scratch (valid until the next backward pass through c), and allocates
+// nothing once c's scratch is warm.
+func (m *MLP) BackwardInto(c *Cache, dOut []float64) []float64 {
 	if len(dOut) != m.OutputSize() {
 		panic("nn: Backward gradient size mismatch")
 	}
-	grad := mathx.CopyOf(dOut)
+	c.ensureDacts()
+	grad := c.dacts[len(m.layers)]
+	copy(grad, dOut)
 	for i := len(m.layers) - 1; i >= 0; i-- {
 		l := m.layers[i]
 		if i < len(m.layers)-1 {
@@ -223,11 +268,17 @@ func (m *MLP) Backward(c *Cache, dOut []float64) []float64 {
 				grad[j] *= m.hidden.derivFromOutput(y[j])
 			}
 		}
-		dX := make([]float64, l.In)
+		dX := c.dacts[i]
 		l.backward(c.acts[i], grad, dX)
 		grad = dX
 	}
 	return grad
+}
+
+// Backward accumulates parameter gradients as BackwardInto does, returning a
+// freshly allocated input-gradient slice that survives further passes.
+func (m *MLP) Backward(c *Cache, dOut []float64) []float64 {
+	return mathx.CopyOf(m.BackwardInto(c, dOut))
 }
 
 // Params returns aliased views of every parameter slice (weights and biases,

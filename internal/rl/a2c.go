@@ -24,12 +24,7 @@ type A2C struct {
 	rng    *mathx.RNG
 	buf    rolloutBuffer
 	iter   int
-
-	pendObs  []float64
-	pendLive bool
-	pendEnv  Env
-
-	curEpReward float64
+	col    collector
 }
 
 // A2CConfig holds the trainer hyperparameters.
@@ -69,14 +64,16 @@ func NewA2C(policy Policy, value *nn.MLP, cfg A2CConfig, rng *mathx.RNG) (*A2C, 
 	if value.OutputSize() != 1 {
 		return nil, fmt.Errorf("rl: A2C value network output size %d, want 1", value.OutputSize())
 	}
-	return &A2C{
+	a := &A2C{
 		Policy: policy,
 		Value:  value,
 		cfg:    cfg,
 		polOpt: nn.NewAdam(cfg.LR),
 		valOpt: nn.NewAdam(cfg.LR),
 		rng:    rng,
-	}, nil
+	}
+	a.col = newCollector(policy, value, rng, &a.buf)
+	return a, nil
 }
 
 // TrainIteration collects one rollout and applies one actor-critic update.
@@ -84,49 +81,10 @@ func (a *A2C) TrainIteration(env Env) IterStats {
 	stats := IterStats{Iteration: a.iter}
 	a.iter++
 
-	obs := a.pendObs
-	if !a.pendLive || a.pendEnv != env {
-		obs = env.Reset()
-		a.curEpReward = 0
-	}
-	a.pendEnv = env
-	var rewardSum float64
-	for step := 0; step < a.cfg.RolloutSteps; step++ {
-		action, logp := a.Policy.Sample(a.rng, obs)
-		value := a.Value.Predict(obs)[0]
-		next, reward, done := env.Step(action)
-		a.buf.add(transition{
-			obs:    mathx.CopyOf(obs),
-			action: mathx.CopyOf(action),
-			reward: reward,
-			done:   done,
-			logp:   logp,
-			value:  value,
-		})
-		rewardSum += reward
-		a.curEpReward += reward
-		if done {
-			stats.Episodes++
-			stats.MeanEpReward += a.curEpReward
-			a.curEpReward = 0
-			obs = env.Reset()
-		} else {
-			obs = next
-		}
-	}
-	a.pendObs = mathx.CopyOf(obs)
-	a.pendLive = true
-	stats.Steps = a.buf.len()
-	stats.MeanStepRew = rewardSum / float64(a.buf.len())
-	if stats.Episodes > 0 {
-		stats.MeanEpReward /= float64(stats.Episodes)
-	}
+	cs := a.col.collect(env, a.cfg.RolloutSteps)
+	mergeCollectStats(&stats, cs, a.buf.len())
 
-	lastValue := 0.0
-	if a.pendLive {
-		lastValue = a.Value.Predict(a.pendObs)[0]
-	}
-	a.buf.computeGAE(a.cfg.Gamma, a.cfg.Lambda, lastValue)
+	a.buf.computeGAE(a.cfg.Gamma, a.cfg.Lambda, a.col.bootstrap())
 	a.buf.normalizeAdvantages()
 
 	// One gradient step over the whole rollout: loss = −A·logπ − c_H·H +

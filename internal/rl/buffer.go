@@ -1,6 +1,10 @@
 package rl
 
-import "math"
+import (
+	"math"
+
+	"advnet/internal/mathx"
+)
 
 // transition is one (s, a, r) step plus the bookkeeping PPO needs.
 type transition struct {
@@ -15,16 +19,96 @@ type transition struct {
 	ret       float64 // advantage + value (the value target)
 }
 
-// rolloutBuffer accumulates transitions for one PPO iteration.
+// rolloutBuffer accumulates transitions for one PPO iteration. Observation
+// and action vectors are stored in two flat arenas reserved up front via
+// ensureCap, so a steady-state rollout performs no per-step heap allocations;
+// push falls back to individual copies only when the arena is exhausted.
 type rolloutBuffer struct {
 	steps []transition
+
+	obsArena []float64
+	actArena []float64
+	obsUsed  int
+	actUsed  int
 }
 
 func (b *rolloutBuffer) add(t transition) { b.steps = append(b.steps, t) }
 
 func (b *rolloutBuffer) len() int { return len(b.steps) }
 
-func (b *rolloutBuffer) reset() { b.steps = b.steps[:0] }
+func (b *rolloutBuffer) reset() {
+	b.steps = b.steps[:0]
+	b.obsUsed = 0
+	b.actUsed = 0
+}
+
+// ensureCap reserves room for n transitions of the given observation/action
+// dimensions, growing the arenas and the step slice as needed. Existing
+// contents are preserved.
+func (b *rolloutBuffer) ensureCap(n, obsDim, actDim int) {
+	if cap(b.steps) < n {
+		grown := make([]transition, len(b.steps), n)
+		copy(grown, b.steps)
+		b.steps = grown
+	}
+	if want := n * obsDim; cap(b.obsArena) < want {
+		grown := make([]float64, want)
+		copy(grown, b.obsArena[:b.obsUsed])
+		b.obsArena = grown
+	} else {
+		b.obsArena = b.obsArena[:cap(b.obsArena)]
+	}
+	if want := n * actDim; cap(b.actArena) < want {
+		grown := make([]float64, want)
+		copy(grown, b.actArena[:b.actUsed])
+		b.actArena = grown
+	} else {
+		b.actArena = b.actArena[:cap(b.actArena)]
+	}
+}
+
+// arenaSlot copies src into the arena and returns the stored slice, falling
+// back to a fresh allocation when the arena is full.
+func arenaSlot(arena []float64, used *int, src []float64) []float64 {
+	if *used+len(src) > len(arena) {
+		return mathx.CopyOf(src)
+	}
+	dst := arena[*used : *used+len(src) : *used+len(src)]
+	copy(dst, src)
+	*used += len(src)
+	return dst
+}
+
+// push appends a transition, copying obs and action into the arenas. The
+// stored slices are owned by the buffer and remain valid until reset.
+func (b *rolloutBuffer) push(obs, action []float64, reward float64, done bool, logp, value float64) {
+	b.steps = append(b.steps, transition{
+		obs:    arenaSlot(b.obsArena, &b.obsUsed, obs),
+		action: arenaSlot(b.actArena, &b.actUsed, action),
+		reward: reward,
+		done:   done,
+		logp:   logp,
+		value:  value,
+	})
+}
+
+// pushFrom appends every transition of src, including computed advantages and
+// returns, copying vectors into b's arenas.
+func (b *rolloutBuffer) pushFrom(src *rolloutBuffer) {
+	for i := range src.steps {
+		s := &src.steps[i]
+		b.steps = append(b.steps, transition{
+			obs:       arenaSlot(b.obsArena, &b.obsUsed, s.obs),
+			action:    arenaSlot(b.actArena, &b.actUsed, s.action),
+			reward:    s.reward,
+			done:      s.done,
+			logp:      s.logp,
+			value:     s.value,
+			advantage: s.advantage,
+			ret:       s.ret,
+		})
+	}
+}
 
 // computeGAE fills advantages and returns using generalized advantage
 // estimation (Schulman et al. 2016). lastValue bootstraps the value of the

@@ -1,0 +1,95 @@
+package rl
+
+import (
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// collector runs one policy/value pair against one environment, appending
+// transitions to a rollout buffer. It owns the cross-iteration episode state
+// (the pending observation and the running episode reward), so a trainer and
+// each parallel worker hold exactly one collector. All stochasticity flows
+// through the collector's RNG.
+type collector struct {
+	policy Policy
+	value  *nn.MLP
+	rng    *mathx.RNG
+	buf    *rolloutBuffer
+
+	vcache *nn.Cache // value-net forward scratch
+
+	pendObs     []float64 // observation carried across iterations
+	pendLive    bool
+	pendEnv     Env // the env pendObs came from
+	curEpReward float64
+}
+
+// collectStats aggregates what one collect call observed.
+type collectStats struct {
+	steps       int
+	episodes    int
+	epRewardSum float64 // total reward of completed episodes
+	rewardSum   float64 // reward over all collected steps
+}
+
+func newCollector(policy Policy, value *nn.MLP, rng *mathx.RNG, buf *rolloutBuffer) collector {
+	return collector{policy: policy, value: value, rng: rng, buf: buf, vcache: value.NewCache()}
+}
+
+// collect runs the policy for the given number of environment steps,
+// appending transitions to the buffer. It resumes a partial episode when the
+// environment is unchanged since the last call and starts fresh otherwise
+// (e.g. after injecting adversarial traces swaps the env out).
+func (c *collector) collect(env Env, steps int) collectStats {
+	var st collectStats
+	if steps <= 0 {
+		return st
+	}
+	obs := c.pendObs
+	if !c.pendLive || c.pendEnv != env {
+		obs = env.Reset()
+		c.curEpReward = 0
+	}
+	c.pendEnv = env
+	c.buf.ensureCap(c.buf.len()+steps, env.ObservationSize(), env.ActionSpec().ActionSize())
+	for step := 0; step < steps; step++ {
+		action, logp := c.policy.Sample(c.rng, obs)
+		value := c.value.PredictInto(c.vcache, obs)[0]
+		next, reward, done := env.Step(action)
+		c.buf.push(obs, action, reward, done, logp, value)
+		st.rewardSum += reward
+		c.curEpReward += reward
+		if done {
+			st.episodes++
+			st.epRewardSum += c.curEpReward
+			c.curEpReward = 0
+			obs = env.Reset()
+		} else {
+			obs = next
+		}
+	}
+	st.steps = steps
+	c.setPending(obs)
+	return st
+}
+
+// setPending stores the next-step observation without allocating in steady
+// state.
+func (c *collector) setPending(obs []float64) {
+	if cap(c.pendObs) < len(obs) {
+		c.pendObs = make([]float64, len(obs))
+	}
+	c.pendObs = c.pendObs[:len(obs)]
+	copy(c.pendObs, obs)
+	c.pendLive = true
+}
+
+// bootstrap returns the value estimate of the pending observation, used to
+// bootstrap GAE for a trailing partial episode, or 0 when no episode is
+// pending.
+func (c *collector) bootstrap() float64 {
+	if !c.pendLive {
+		return 0
+	}
+	return c.value.PredictInto(c.vcache, c.pendObs)[0]
+}

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"math"
 
 	"advnet/internal/mathx"
@@ -11,10 +12,18 @@ import (
 // the gradient of (wLogp·logπ(a|s) + wEnt·H(π(·|s))) with respect to the
 // policy parameters, treating the expression as a loss term — callers that
 // want to *maximize* log-probability or entropy pass negative weights.
+//
+// Policies keep internal scratch buffers so the Sample hot path allocates
+// nothing: the action slice returned by Sample is reused by the next Sample
+// call and must be copied by callers that need it to survive. A Policy is
+// therefore not safe for concurrent use; parallel rollout workers each hold
+// their own clone (see ClonePolicy).
 type Policy interface {
-	// Sample draws an action and returns it with its log-probability.
+	// Sample draws an action and returns it with its log-probability. The
+	// returned action aliases internal scratch, valid until the next call.
 	Sample(rng *mathx.RNG, obs []float64) (action []float64, logp float64)
-	// Mode returns the deterministic (highest-probability) action.
+	// Mode returns the deterministic (highest-probability) action as a
+	// freshly allocated slice.
 	Mode(obs []float64) []float64
 	// LogProb returns log π(action|obs) under the current parameters.
 	LogProb(obs, action []float64) float64
@@ -32,17 +41,84 @@ type Policy interface {
 	ClipGradNorm(maxNorm float64)
 }
 
+// BatchPolicy is implemented by policies that support fused minibatch
+// evaluation: one forward pass per sample shared between the log-prob
+// evaluation and the gradient accumulation, with obs/action rows stored
+// row-major. BatchGrad must be called directly after BatchEval on the same
+// batch (it reuses the cached forward activations). The batched path is
+// bit-for-bit identical to the equivalent sequence of per-sample
+// LogProb+Backward calls.
+type BatchPolicy interface {
+	Policy
+	// BatchEval evaluates n (obs, action) rows, writing log-probabilities
+	// into logp[:n] and entropies into ent[:n].
+	BatchEval(obs, actions []float64, n int, logp, ent []float64)
+	// BatchGrad accumulates, for each row r of the last BatchEval,
+	// the gradient of wLogp[r]·logπ(a_r|s_r) + wEnt·H(π(·|s_r)).
+	BatchGrad(wLogp []float64, wEnt float64)
+}
+
+// ClonePolicy returns an independent deep copy of p (parameters and
+// hyperparameters; gradients zeroed). Policies outside this package can opt
+// in by implementing interface{ ClonePolicy() Policy }.
+func ClonePolicy(p Policy) (Policy, error) {
+	switch t := p.(type) {
+	case *CategoricalPolicy:
+		return t.Clone(), nil
+	case *GaussianPolicy:
+		return t.Clone(), nil
+	}
+	if c, ok := p.(interface{ ClonePolicy() Policy }); ok {
+		return c.ClonePolicy(), nil
+	}
+	return nil, fmt.Errorf("rl: policy type %T does not support cloning", p)
+}
+
+// CopyParams overwrites dst's parameters with src's. The two policies must
+// have identical parameter shapes (e.g. a clone and its original).
+func CopyParams(dst, src Policy) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("rl: CopyParams shape mismatch: %d vs %d parameter groups", len(dp), len(sp))
+	}
+	for i := range dp {
+		if len(dp[i]) != len(sp[i]) {
+			return fmt.Errorf("rl: CopyParams group %d size mismatch: %d vs %d", i, len(dp[i]), len(sp[i]))
+		}
+		copy(dp[i], sp[i])
+	}
+	return nil
+}
+
 // CategoricalPolicy is a softmax policy over N discrete actions; the network
 // maps observations to N logits.
 type CategoricalPolicy struct {
 	net *nn.MLP
 	n   int
+
+	// Single-sample scratch (Sample/LogProb/Entropy hot path).
+	cache    *nn.Cache
+	probsBuf []float64
+	actBuf   []float64
+
+	// Batched-update scratch, sized lazily to the largest minibatch seen.
+	bcache *nn.BatchCache
+	bprobs []float64 // batch×n softmax probabilities
+	bacts  []int     // batch action indices
+	bents  []float64 // batch entropies
+	bdlog  []float64 // batch×n logit gradients
 }
 
 // NewCategoricalPolicy builds a categorical policy from a network whose
 // output size is the number of actions.
 func NewCategoricalPolicy(net *nn.MLP) *CategoricalPolicy {
-	return &CategoricalPolicy{net: net, n: net.OutputSize()}
+	return &CategoricalPolicy{
+		net:      net,
+		n:        net.OutputSize(),
+		cache:    net.NewCache(),
+		probsBuf: make([]float64, net.OutputSize()),
+		actBuf:   make([]float64, 1),
+	}
 }
 
 // Net returns the underlying network (e.g. for serialization).
@@ -51,17 +127,23 @@ func (p *CategoricalPolicy) Net() *nn.MLP { return p.net }
 // N returns the number of actions.
 func (p *CategoricalPolicy) N() int { return p.n }
 
+// Clone returns an independent copy with its own network and scratch.
+func (p *CategoricalPolicy) Clone() *CategoricalPolicy {
+	return NewCategoricalPolicy(p.net.Clone())
+}
+
+// probs runs the network and softmaxes into internal scratch.
 func (p *CategoricalPolicy) probs(obs []float64) []float64 {
-	logits := p.net.Predict(obs)
-	out := make([]float64, len(logits))
-	return mathx.Softmax(logits, out)
+	logits := p.net.PredictInto(p.cache, obs)
+	return mathx.Softmax(logits, p.probsBuf)
 }
 
 // Sample draws an action index proportionally to the softmax probabilities.
 func (p *CategoricalPolicy) Sample(rng *mathx.RNG, obs []float64) ([]float64, float64) {
 	probs := p.probs(obs)
 	a := rng.Choice(probs)
-	return []float64{float64(a)}, math.Log(probs[a] + 1e-12)
+	p.actBuf[0] = float64(a)
+	return p.actBuf, math.Log(probs[a] + 1e-12)
 }
 
 // Mode returns the argmax action.
@@ -121,6 +203,63 @@ func (p *CategoricalPolicy) Backward(obs, action []float64, wLogp, wEnt float64)
 	return logp, h
 }
 
+// ensureBatch sizes the batched-update scratch for at least n samples.
+func (p *CategoricalPolicy) ensureBatch(n int) {
+	if p.bcache != nil && p.bcache.Capacity() >= n {
+		return
+	}
+	p.bcache = p.net.NewBatchCache(n)
+	p.bprobs = make([]float64, n*p.n)
+	p.bacts = make([]int, n)
+	p.bents = make([]float64, n)
+	p.bdlog = make([]float64, n*p.n)
+}
+
+// BatchEval implements BatchPolicy.
+func (p *CategoricalPolicy) BatchEval(obs, actions []float64, n int, logp, ent []float64) {
+	p.ensureBatch(n)
+	logits := p.net.ForwardBatch(p.bcache, obs, n)
+	for r := 0; r < n; r++ {
+		probs := mathx.Softmax(logits[r*p.n:(r+1)*p.n], p.bprobs[r*p.n:(r+1)*p.n])
+		a := int(actions[r])
+		p.bacts[r] = a
+		logp[r] = math.Log(probs[a] + 1e-12)
+		var h float64
+		for _, q := range probs {
+			if q > 0 {
+				h -= q * math.Log(q)
+			}
+		}
+		p.bents[r] = h
+		ent[r] = h
+	}
+}
+
+// BatchGrad implements BatchPolicy.
+func (p *CategoricalPolicy) BatchGrad(wLogp []float64, wEnt float64) {
+	n := len(wLogp)
+	for r := 0; r < n; r++ {
+		probs := p.bprobs[r*p.n : (r+1)*p.n]
+		a := p.bacts[r]
+		h := p.bents[r]
+		dLogits := p.bdlog[r*p.n : (r+1)*p.n]
+		for j, q := range probs {
+			var dLogp float64
+			if j == a {
+				dLogp = 1 - q
+			} else {
+				dLogp = -q
+			}
+			dEnt := 0.0
+			if q > 0 {
+				dEnt = -q * (math.Log(q) + h)
+			}
+			dLogits[j] = wLogp[r]*dLogp + wEnt*dEnt
+		}
+	}
+	p.net.BackwardBatch(p.bcache, p.bdlog[:n*p.n])
+}
+
 // Params implements Policy.
 func (p *CategoricalPolicy) Params() [][]float64 { return p.net.Params() }
 
@@ -154,6 +293,15 @@ type GaussianPolicy struct {
 	// learn structure instead. Defaults are ±∞ (no bound).
 	MinLogStd float64
 	MaxLogStd float64
+
+	// Single-sample scratch.
+	cache  *nn.Cache
+	actBuf []float64
+
+	// Batched-update scratch.
+	bcache *nn.BatchCache
+	bzs    []float64 // batch×dim standardized residuals
+	bdmean []float64 // batch×dim mean gradients
 }
 
 const log2Pi = 1.8378770664093453 // log(2π)
@@ -170,6 +318,8 @@ func NewGaussianPolicy(net *nn.MLP, initLogStd float64) *GaussianPolicy {
 		dim:       dim,
 		MinLogStd: math.Inf(-1),
 		MaxLogStd: math.Inf(1),
+		cache:     net.NewCache(),
+		actBuf:    make([]float64, dim),
 	}
 	mathx.Fill(p.logStd, initLogStd)
 	return p
@@ -189,10 +339,20 @@ func (p *GaussianPolicy) LogStd() []float64 { return p.logStd }
 // Dim returns the action dimensionality.
 func (p *GaussianPolicy) Dim() int { return p.dim }
 
+// Clone returns an independent copy with its own network, log-std vector,
+// bounds, and scratch.
+func (p *GaussianPolicy) Clone() *GaussianPolicy {
+	c := NewGaussianPolicy(p.net.Clone(), 0)
+	copy(c.logStd, p.logStd)
+	c.MinLogStd = p.MinLogStd
+	c.MaxLogStd = p.MaxLogStd
+	return c
+}
+
 // Sample draws an action from N(mean(obs), diag(exp(logStd))²).
 func (p *GaussianPolicy) Sample(rng *mathx.RNG, obs []float64) ([]float64, float64) {
-	mean := p.net.Predict(obs)
-	action := make([]float64, p.dim)
+	mean := p.net.PredictInto(p.cache, obs)
+	action := p.actBuf
 	logp := 0.0
 	for i := 0; i < p.dim; i++ {
 		ls := p.effLogStd(i)
@@ -212,7 +372,7 @@ func (p *GaussianPolicy) Mode(obs []float64) []float64 {
 
 // LogProb returns the log-density of action under the current parameters.
 func (p *GaussianPolicy) LogProb(obs, action []float64) float64 {
-	mean := p.net.Predict(obs)
+	mean := p.net.PredictInto(p.cache, obs)
 	logp := 0.0
 	for i := 0; i < p.dim; i++ {
 		ls := p.effLogStd(i)
@@ -253,6 +413,51 @@ func (p *GaussianPolicy) Backward(obs, action []float64, wLogp, wEnt float64) (f
 	}
 	p.net.Backward(cache, dMean)
 	return logp, p.Entropy(obs)
+}
+
+// ensureBatch sizes the batched-update scratch for at least n samples.
+func (p *GaussianPolicy) ensureBatch(n int) {
+	if p.bcache != nil && p.bcache.Capacity() >= n {
+		return
+	}
+	p.bcache = p.net.NewBatchCache(n)
+	p.bzs = make([]float64, n*p.dim)
+	p.bdmean = make([]float64, n*p.dim)
+}
+
+// BatchEval implements BatchPolicy.
+func (p *GaussianPolicy) BatchEval(obs, actions []float64, n int, logp, ent []float64) {
+	p.ensureBatch(n)
+	means := p.net.ForwardBatch(p.bcache, obs, n)
+	for r := 0; r < n; r++ {
+		lp := 0.0
+		for i := 0; i < p.dim; i++ {
+			ls := p.effLogStd(i)
+			std := math.Exp(ls)
+			z := (actions[r*p.dim+i] - means[r*p.dim+i]) / std
+			p.bzs[r*p.dim+i] = z
+			lp += -0.5*z*z - ls - 0.5*log2Pi
+		}
+		logp[r] = lp
+		ent[r] = p.Entropy(nil)
+	}
+}
+
+// BatchGrad implements BatchPolicy.
+func (p *GaussianPolicy) BatchGrad(wLogp []float64, wEnt float64) {
+	n := len(wLogp)
+	for r := 0; r < n; r++ {
+		for i := 0; i < p.dim; i++ {
+			ls := p.effLogStd(i)
+			std := math.Exp(ls)
+			z := p.bzs[r*p.dim+i]
+			p.bdmean[r*p.dim+i] = wLogp[r] * z / std
+			if p.logStd[i] > p.MinLogStd && p.logStd[i] < p.MaxLogStd {
+				p.gLogStd[i] += wLogp[r]*(z*z-1) + wEnt
+			}
+		}
+	}
+	p.net.BackwardBatch(p.bcache, p.bdmean[:n*p.dim])
 }
 
 // Params implements Policy: the network parameters plus the logStd vector.

@@ -81,18 +81,22 @@ type PPO struct {
 	Policy Policy
 	Value  *nn.MLP
 
-	cfg      PPOConfig
-	polOpt   *nn.Adam
-	valOpt   *nn.Adam
-	rng      *mathx.RNG
-	buf      rolloutBuffer
-	iter     int
-	pendObs  []float64 // observation carried across iterations
-	pendLive bool
-	pendEnv  Env // the env pendObs came from
+	cfg    PPOConfig
+	polOpt *nn.Adam
+	valOpt *nn.Adam
+	rng    *mathx.RNG
+	buf    rolloutBuffer
+	iter   int
+	col    collector // sequential-path rollout state (also vec worker 0)
 
-	// episode accounting across rollout boundaries
-	curEpReward float64
+	// Minibatch gather/update scratch, sized lazily.
+	uobs    []float64 // minibatch×obsDim observation rows
+	uact    []float64 // minibatch×actDim action rows
+	ulogp   []float64
+	uent    []float64
+	uwLogp  []float64
+	uvdOut  []float64
+	vbcache *nn.BatchCache // value-net batched cache
 }
 
 // NewPPO builds a trainer. The value network must map observations to a
@@ -104,14 +108,16 @@ func NewPPO(policy Policy, value *nn.MLP, cfg PPOConfig, rng *mathx.RNG) (*PPO, 
 	if value.OutputSize() != 1 {
 		return nil, fmt.Errorf("rl: value network output size %d, want 1", value.OutputSize())
 	}
-	return &PPO{
+	p := &PPO{
 		Policy: policy,
 		Value:  value,
 		cfg:    cfg,
 		polOpt: nn.NewAdam(cfg.LR),
 		valOpt: nn.NewAdam(cfg.LR),
 		rng:    rng,
-	}, nil
+	}
+	p.col = newCollector(policy, value, rng, &p.buf)
+	return p, nil
 }
 
 // Config returns the trainer's configuration.
@@ -126,11 +132,7 @@ func (p *PPO) TrainIteration(env Env) IterStats {
 	p.collectRollout(env, &stats)
 
 	// Bootstrap value for the trailing partial episode.
-	lastValue := 0.0
-	if p.pendLive {
-		lastValue = p.Value.Predict(p.pendObs)[0]
-	}
-	p.buf.computeGAE(p.cfg.Gamma, p.cfg.Lambda, lastValue)
+	p.buf.computeGAE(p.cfg.Gamma, p.cfg.Lambda, p.col.bootstrap())
 	p.buf.normalizeAdvantages()
 	p.update(&stats)
 	p.buf.reset()
@@ -147,49 +149,48 @@ func (p *PPO) Train(env Env, iterations int) []IterStats {
 }
 
 func (p *PPO) collectRollout(env Env, stats *IterStats) {
-	obs := p.pendObs
-	if !p.pendLive || p.pendEnv != env {
-		// Fresh start, or training resumed against a different
-		// environment (e.g. after injecting adversarial traces).
-		obs = env.Reset()
-		p.curEpReward = 0
+	cs := p.col.collect(env, p.cfg.RolloutSteps)
+	mergeCollectStats(stats, cs, p.buf.len())
+}
+
+// mergeCollectStats folds collection totals into the iteration statistics,
+// guarding the per-step mean against zero-step rollouts (reachable when a
+// parallel run splits fewer rollout steps than workers).
+func mergeCollectStats(stats *IterStats, cs collectStats, bufLen int) {
+	stats.Steps = bufLen
+	stats.Episodes = cs.episodes
+	if bufLen > 0 {
+		stats.MeanStepRew = cs.rewardSum / float64(bufLen)
 	}
-	p.pendEnv = env
-	var rewardSum float64
-	for step := 0; step < p.cfg.RolloutSteps; step++ {
-		action, logp := p.Policy.Sample(p.rng, obs)
-		value := p.Value.Predict(obs)[0]
-		next, reward, done := env.Step(action)
-		p.buf.add(transition{
-			obs:    mathx.CopyOf(obs),
-			action: mathx.CopyOf(action),
-			reward: reward,
-			done:   done,
-			logp:   logp,
-			value:  value,
-		})
-		rewardSum += reward
-		p.curEpReward += reward
-		if done {
-			stats.Episodes++
-			stats.MeanEpReward += p.curEpReward
-			p.curEpReward = 0
-			obs = env.Reset()
-		} else {
-			obs = next
-		}
+	stats.MeanEpReward = cs.epRewardSum
+	if cs.episodes > 0 {
+		stats.MeanEpReward = cs.epRewardSum / float64(cs.episodes)
 	}
-	p.pendObs = mathx.CopyOf(obs)
-	p.pendLive = true
-	stats.Steps = p.buf.len()
-	stats.MeanStepRew = rewardSum / float64(p.buf.len())
-	if stats.Episodes > 0 {
-		stats.MeanEpReward /= float64(stats.Episodes)
+}
+
+// ensureUpdateScratch sizes the minibatch gather buffers and the value net's
+// batched cache for m samples.
+func (p *PPO) ensureUpdateScratch(m, obsDim, actDim int) {
+	if len(p.ulogp) >= m && len(p.uobs) >= m*obsDim && len(p.uact) >= m*actDim {
+		return
+	}
+	p.uobs = make([]float64, m*obsDim)
+	p.uact = make([]float64, m*actDim)
+	p.ulogp = make([]float64, m)
+	p.uent = make([]float64, m)
+	p.uwLogp = make([]float64, m)
+	p.uvdOut = make([]float64, m)
+	if p.vbcache == nil || p.vbcache.Capacity() < m {
+		p.vbcache = p.Value.NewBatchCache(m)
 	}
 }
 
 func (p *PPO) update(stats *IterStats) {
 	n := p.buf.len()
+	if n == 0 {
+		return
+	}
+	bp, batched := p.Policy.(BatchPolicy)
 	var (
 		sumPolicyLoss float64
 		sumValueLoss  float64
@@ -208,48 +209,106 @@ func (p *PPO) update(stats *IterStats) {
 			batch := perm[start:end]
 			p.Policy.ZeroGrad()
 			p.Value.ZeroGrad()
-			for _, idx := range batch {
-				s := &p.buf.steps[idx]
+			if batched {
+				// Fused path: one shared forward pass per sample
+				// (instead of LogProb + Backward each running
+				// their own), batched through preallocated
+				// row-major caches. Per-sample arithmetic and
+				// gradient accumulation order are unchanged, so
+				// results are bit-identical to the fallback.
+				m := len(batch)
+				obsDim := len(p.buf.steps[0].obs)
+				actDim := len(p.buf.steps[0].action)
+				p.ensureUpdateScratch(m, obsDim, actDim)
+				for k, idx := range batch {
+					s := &p.buf.steps[idx]
+					copy(p.uobs[k*obsDim:(k+1)*obsDim], s.obs)
+					copy(p.uact[k*actDim:(k+1)*actDim], s.action)
+				}
+				bp.BatchEval(p.uobs, p.uact, m, p.ulogp, p.uent)
+				for k, idx := range batch {
+					s := &p.buf.steps[idx]
+					logpNew := p.ulogp[k]
+					ratio := math.Exp(logpNew - s.logp)
+					adv := s.advantage
+					clipActive := false
+					if adv >= 0 && ratio > 1+p.cfg.ClipEps {
+						clipActive = true
+					}
+					if adv < 0 && ratio < 1-p.cfg.ClipEps {
+						clipActive = true
+					}
+					p.uwLogp[k] = 0
+					if !clipActive {
+						p.uwLogp[k] = -ratio * adv
+					}
+					surr := ratio * adv
+					clippedRatio := mathx.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps)
+					if clippedRatio*adv < surr {
+						surr = clippedRatio * adv
+					}
+					sumPolicyLoss += -surr
+					sumEntropy += p.uent[k]
+					sumKL += s.logp - logpNew
+					if clipActive {
+						clipped++
+					}
+					samples++
+				}
+				bp.BatchGrad(p.uwLogp[:m], -p.cfg.EntropyCoef)
 
-				// Policy term. ratio = exp(logp_new - logp_old).
-				logpNew := p.Policy.LogProb(s.obs, s.action)
-				ratio := math.Exp(logpNew - s.logp)
-				adv := s.advantage
-				// L_clip = min(r·A, clip(r)·A); we accumulate the
-				// gradient of −L_clip. d(r·A)/dlogp = r·A, so the
-				// logp weight is −r·A when the unclipped branch is
-				// active and 0 when clipped.
-				clipActive := false
-				if adv >= 0 && ratio > 1+p.cfg.ClipEps {
-					clipActive = true
+				// Value term: 0.5·(V(s) − ret)², batched.
+				vs := p.Value.ForwardBatch(p.vbcache, p.uobs, m)
+				for k, idx := range batch {
+					diff := vs[k] - p.buf.steps[idx].ret
+					p.uvdOut[k] = p.cfg.ValueCoef * diff
+					sumValueLoss += 0.5 * diff * diff
 				}
-				if adv < 0 && ratio < 1-p.cfg.ClipEps {
-					clipActive = true
-				}
-				wLogp := 0.0
-				if !clipActive {
-					wLogp = -ratio * adv
-				}
-				_, ent := p.Policy.Backward(s.obs, s.action, wLogp, -p.cfg.EntropyCoef)
+				p.Value.BackwardBatch(p.vbcache, p.uvdOut[:m])
+			} else {
+				for _, idx := range batch {
+					s := &p.buf.steps[idx]
 
-				surr := ratio * adv
-				clippedRatio := mathx.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps)
-				if clippedRatio*adv < surr {
-					surr = clippedRatio * adv
-				}
-				sumPolicyLoss += -surr
-				sumEntropy += ent
-				sumKL += s.logp - logpNew
-				if clipActive {
-					clipped++
-				}
-				samples++
+					// Policy term. ratio = exp(logp_new - logp_old).
+					logpNew := p.Policy.LogProb(s.obs, s.action)
+					ratio := math.Exp(logpNew - s.logp)
+					adv := s.advantage
+					// L_clip = min(r·A, clip(r)·A); we accumulate the
+					// gradient of −L_clip. d(r·A)/dlogp = r·A, so the
+					// logp weight is −r·A when the unclipped branch is
+					// active and 0 when clipped.
+					clipActive := false
+					if adv >= 0 && ratio > 1+p.cfg.ClipEps {
+						clipActive = true
+					}
+					if adv < 0 && ratio < 1-p.cfg.ClipEps {
+						clipActive = true
+					}
+					wLogp := 0.0
+					if !clipActive {
+						wLogp = -ratio * adv
+					}
+					_, ent := p.Policy.Backward(s.obs, s.action, wLogp, -p.cfg.EntropyCoef)
 
-				// Value term: 0.5·(V(s) − ret)².
-				v, cache := p.Value.Forward(s.obs)
-				diff := v[0] - s.ret
-				p.Value.Backward(cache, []float64{p.cfg.ValueCoef * diff})
-				sumValueLoss += 0.5 * diff * diff
+					surr := ratio * adv
+					clippedRatio := mathx.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps)
+					if clippedRatio*adv < surr {
+						surr = clippedRatio * adv
+					}
+					sumPolicyLoss += -surr
+					sumEntropy += ent
+					sumKL += s.logp - logpNew
+					if clipActive {
+						clipped++
+					}
+					samples++
+
+					// Value term: 0.5·(V(s) − ret)².
+					v, cache := p.Value.Forward(s.obs)
+					diff := v[0] - s.ret
+					p.Value.Backward(cache, []float64{p.cfg.ValueCoef * diff})
+					sumValueLoss += 0.5 * diff * diff
+				}
 			}
 			inv := 1.0 / float64(len(batch))
 			p.Policy.ScaleGrads(inv)

@@ -1,0 +1,195 @@
+package rl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EnvFactory builds the environment instance for one rollout worker. It is
+// called once per worker, in worker order, at VecRunner construction time.
+// Worker 0 always exists; factories that need per-worker randomness should
+// derive it deterministically from the worker index so runs are reproducible.
+type EnvFactory func(worker int) Env
+
+// VecRunner drives W independent environment instances in parallel to
+// collect one PPO rollout per iteration, then performs the standard
+// synchronized PPO update on the merged data.
+//
+// Determinism contract:
+//
+//   - Worker 0 *is* the sequential trainer: it shares the PPO's policy,
+//     value network, RNG, rollout buffer, and pending-episode state. With
+//     workers=1 a VecRunner iteration is bit-for-bit identical to
+//     PPO.TrainIteration against the same environment.
+//   - Workers ≥ 1 hold policy/value clones and RNG streams split from the
+//     trainer RNG at construction, in worker order. For any fixed W, two
+//     runs with the same seed produce identical trajectories and IterStats
+//     regardless of goroutine scheduling: each worker's stream is private,
+//     and buffers/stats are merged in worker order after all workers join.
+//   - GAE is computed per worker buffer with that worker's own bootstrap
+//     value before merging, so advantages never leak across workers.
+//
+// After each update the new weights are copied back to every worker clone
+// via CopyParams / nn.MLP.CopyParamsFrom.
+type VecRunner struct {
+	ppo     *PPO
+	workers []*vecWorker
+}
+
+// vecWorker is one rollout lane: an env, a collector (worker 0 shares the
+// trainer's, others own clones), and a private rollout buffer.
+type vecWorker struct {
+	col   *collector
+	env   Env
+	buf   *rolloutBuffer
+	steps int // rollout share per iteration
+
+	cs        collectStats // collection results, read after join
+	lastValue float64
+}
+
+// NewVecRunner builds a worker pool around an existing PPO trainer. The
+// factory is invoked once per worker, in order. RolloutSteps is divided
+// across workers (earlier workers take the remainder), so the data volume
+// per iteration is identical to the sequential trainer's.
+func NewVecRunner(p *PPO, factory EnvFactory, workers int) (*VecRunner, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("rl: NewVecRunner workers=%d", workers)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("rl: NewVecRunner nil factory")
+	}
+	v := &VecRunner{ppo: p}
+	base := p.cfg.RolloutSteps / workers
+	rem := p.cfg.RolloutSteps % workers
+	for i := 0; i < workers; i++ {
+		w := &vecWorker{steps: base}
+		if i < rem {
+			w.steps++
+		}
+		w.env = factory(i)
+		if w.env == nil {
+			return nil, fmt.Errorf("rl: EnvFactory returned nil env for worker %d", i)
+		}
+		if i == 0 {
+			// Worker 0 shares the trainer's state wholesale — same
+			// policy, value net, RNG stream, buffer, and pending
+			// episode — which is what makes W=1 exactly the
+			// sequential path.
+			w.buf = &p.buf
+			w.col = &p.col
+		} else {
+			policy, err := ClonePolicy(p.Policy)
+			if err != nil {
+				return nil, err
+			}
+			w.buf = &rolloutBuffer{}
+			col := newCollector(policy, p.Value.Clone(), p.rng.Split(), w.buf)
+			w.col = &col
+		}
+		v.workers = append(v.workers, w)
+	}
+	return v, nil
+}
+
+// Workers returns the pool width.
+func (v *VecRunner) Workers() int { return len(v.workers) }
+
+// TrainIteration collects one parallel rollout and performs the PPO update.
+func (v *VecRunner) TrainIteration() IterStats {
+	p := v.ppo
+	stats := IterStats{Iteration: p.iter}
+	p.iter++
+
+	if len(v.workers) == 1 {
+		// Inline: identical to the sequential trainer, no goroutines.
+		w := v.workers[0]
+		w.cs = w.col.collect(w.env, w.steps)
+		w.lastValue = w.col.bootstrap()
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range v.workers[1:] {
+			wg.Add(1)
+			go func(w *vecWorker) {
+				defer wg.Done()
+				w.cs = w.col.collect(w.env, w.steps)
+				w.lastValue = w.col.bootstrap()
+				w.buf.computeGAE(p.cfg.Gamma, p.cfg.Lambda, w.lastValue)
+			}(w)
+		}
+		w0 := v.workers[0]
+		w0.cs = w0.col.collect(w0.env, w0.steps)
+		w0.lastValue = w0.col.bootstrap()
+		wg.Wait()
+	}
+
+	// Worker 0's transitions are already in p.buf (aliased). Compute its
+	// GAE over exactly its own steps, then append the other workers'
+	// finished buffers in worker order.
+	p.buf.computeGAE(p.cfg.Gamma, p.cfg.Lambda, v.workers[0].lastValue)
+	var cs collectStats
+	for i, w := range v.workers {
+		if i > 0 {
+			p.buf.ensureCap(p.buf.len()+w.buf.len(), obsDimOf(w.buf), actDimOf(w.buf))
+			p.buf.pushFrom(w.buf)
+			w.buf.reset()
+		}
+		cs.steps += w.cs.steps
+		cs.episodes += w.cs.episodes
+		cs.epRewardSum += w.cs.epRewardSum
+		cs.rewardSum += w.cs.rewardSum
+	}
+	mergeCollectStats(&stats, cs, p.buf.len())
+
+	p.buf.normalizeAdvantages()
+	p.update(&stats)
+	p.buf.reset()
+
+	// Sync updated weights back to the worker clones (worker 0 already
+	// shares the trainer's parameters).
+	for _, w := range v.workers[1:] {
+		if err := CopyParams(w.col.policy, p.Policy); err != nil {
+			panic(fmt.Sprintf("rl: weight sync: %v", err))
+		}
+		if err := w.col.value.CopyParamsFrom(p.Value); err != nil {
+			panic(fmt.Sprintf("rl: weight sync: %v", err))
+		}
+	}
+	return stats
+}
+
+// obsDimOf/actDimOf report the row widths of a non-empty buffer (0 if empty,
+// in which case pushFrom copies nothing anyway).
+func obsDimOf(b *rolloutBuffer) int {
+	if b.len() == 0 {
+		return 0
+	}
+	return len(b.steps[0].obs)
+}
+
+func actDimOf(b *rolloutBuffer) int {
+	if b.len() == 0 {
+		return 0
+	}
+	return len(b.steps[0].action)
+}
+
+// Train runs the given number of parallel iterations.
+func (v *VecRunner) Train(iterations int) []IterStats {
+	out := make([]IterStats, 0, iterations)
+	for i := 0; i < iterations; i++ {
+		out = append(out, v.TrainIteration())
+	}
+	return out
+}
+
+// TrainParallel is the parallel counterpart of Train: it builds a VecRunner
+// with the given worker count and runs it for the given iterations. With
+// workers=1 the result is bit-for-bit identical to Train against factory(0).
+func (p *PPO) TrainParallel(factory EnvFactory, workers, iterations int) ([]IterStats, error) {
+	v, err := NewVecRunner(p, factory, workers)
+	if err != nil {
+		return nil, err
+	}
+	return v.Train(iterations), nil
+}
