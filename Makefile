@@ -13,16 +13,18 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The worker pool (internal/rl/vec.go) is the only concurrent code in the
-# repository; the race detector over the full test suite is the check that
-# keeps it that way.
+# The concurrent code lives in the rollout worker pool (internal/rl/vec.go)
+# and the evaluation fan-outs (internal/rl/evaluate.go, the EvaluateABR*
+# helpers in internal/core); the race detector over the full test suite —
+# which includes the W>1 golden tests — is the check that keeps them honest.
 race:
 	$(GO) test -race ./...
 
-# Micro-benchmarks for the NN hot path (must report 0 allocs/op) and the
-# parallel PPO iteration (W=1 vs W=4). Results are recorded in EXPERIMENTS.md.
+# Micro-benchmarks for the NN hot path (must report 0 allocs/op), the
+# parallel PPO iteration (W=1 vs W=4), and the parallel dataset evaluation
+# (W=1 vs W=4). Results are recorded in EXPERIMENTS.md.
 bench:
-	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkPPOTrainIteration' -benchmem .
+	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR' -benchmem .
 
 # Tier-1 verification: build + tests, plus vet and the race detector.
 verify: build vet test race

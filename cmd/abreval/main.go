@@ -31,6 +31,7 @@ func main() {
 	protos := flag.String("protocols", "bb,mpc,rate,bola", "comma-separated protocols")
 	replay := flag.String("replay", "chunk", "replay semantic: chunk (per-chunk bandwidth) or wall (wall-time)")
 	seed := flag.Uint64("seed", 1, "seed for generation")
+	workers := flag.Int("workers", 1, "parallel evaluation sessions (>1 fans traces out across goroutines; results are identical for any value)")
 	flag.Parse()
 
 	var ds *trace.Dataset
@@ -77,9 +78,12 @@ func main() {
 		}
 		var q []float64
 		if *replay == "chunk" {
-			q = core.EvaluateABRChunked(video, ds, p, 0.08)
+			q, err = core.EvaluateABRChunked(video, ds, p, 0.08, *workers)
 		} else {
-			q = core.EvaluateABR(video, ds, p, 0.08)
+			q, err = core.EvaluateABR(video, ds, p, 0.08, *workers)
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("%-6s mean=%7.3f  p5=%7.3f  p50=%7.3f  p95=%7.3f\n",
 			p.Name(), stats.Mean(q), stats.Percentile(q, 5), stats.Percentile(q, 50), stats.Percentile(q, 95))

@@ -23,6 +23,7 @@ func main() {
 	log.SetFlags(0)
 	full := flag.Bool("full", false, "use paper-scale budgets")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 1, "parallel workers for training rollouts and evaluation sweeps (evaluation results are identical for any value)")
 	flag.Parse()
 
 	cfg := experiments.Fast()
@@ -30,6 +31,7 @@ func main() {
 		cfg = experiments.Full()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	which := "all"
 	if flag.NArg() > 0 {

@@ -53,6 +53,7 @@ func main() {
 		protoName := fs.String("protocol", "bb", "protocol to record: bb|mpc|rate|bola")
 		out := fs.String("o", "suite.json", "output suite path")
 		rtt := fs.Float64("rtt", 0.08, "round-trip seconds")
+		workers := fs.Int("workers", 1, "parallel evaluation sessions (baseline is identical for any value)")
 		_ = fs.Parse(os.Args[2:])
 		if *tracesPath == "" {
 			log.Fatal("need -traces FILE (generate one with advtrain -traces-out)")
@@ -61,7 +62,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		suite := core.NewABRRegressionSuite(video, protocolByName(*protoName), ds, *rtt)
+		suite, err := core.NewABRRegressionSuite(video, protocolByName(*protoName), ds, *rtt, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := suite.Save(*out); err != nil {
 			log.Fatal(err)
 		}
@@ -73,12 +77,16 @@ func main() {
 		suitePath := fs.String("suite", "suite.json", "suite recorded by `regress record`")
 		protoName := fs.String("protocol", "bb", "protocol to check")
 		tolerance := fs.Float64("tolerance", 0.1, "allowed mean-QoE drop before failing")
+		workers := fs.Int("workers", 1, "parallel evaluation sessions (measurements are identical for any value)")
 		_ = fs.Parse(os.Args[2:])
 		suite, err := core.LoadABRRegressionSuite(*suitePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := suite.Check(video, protocolByName(*protoName), *tolerance)
+		res, err := suite.Check(video, protocolByName(*protoName), *tolerance, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("mean QoE %.3f (baseline %+.3f), p5 %.3f (baseline %+.3f)\n",
 			res.MeanQoE, res.MeanDelta, res.P5QoE, res.P5Delta)
 		if !res.Passed {

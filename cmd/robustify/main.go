@@ -77,7 +77,10 @@ func main() {
 	}
 
 	// Quick self-evaluation on the training distribution.
-	q := core.EvaluateABR(video, ds, res.Protocol, 0.08)
+	q, err := core.EvaluateABR(video, ds, res.Protocol, 0.08, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var mean float64
 	for _, v := range q {
 		mean += v

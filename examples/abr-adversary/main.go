@@ -57,7 +57,10 @@ func main() {
 	report := func(label string, d *trace.Dataset) {
 		fmt.Printf("%s:\n", label)
 		for _, p := range []abr.Protocol{pensieve, mpc, bb} {
-			q := core.EvaluateABRChunked(video, d, p, 0.08)
+			q, err := core.EvaluateABRChunked(video, d, p, 0.08, 1)
+			if err != nil {
+				panic(err)
+			}
 			fmt.Printf("  %-9s mean QoE %6.3f   p5 %6.3f\n",
 				p.Name(), stats.Mean(q), stats.Percentile(q, 5))
 		}

@@ -38,13 +38,19 @@ func main() {
 	ds := &trace.Dataset{Name: "bb-attacks", Traces: traces}
 
 	// 2. Record the current protocol's baseline on that workload.
-	suite := core.NewABRRegressionSuite(video, abr.NewBB(), ds, 0.08)
+	suite, err := core.NewABRRegressionSuite(video, abr.NewBB(), ds, 0.08, 1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("baseline BB: mean QoE %.3f, p5 %.3f on %d adversarial traces\n\n",
 		suite.BaselineMeanQoE, suite.BaselineP5QoE, len(ds.Traces))
 
 	// 3. Candidate fix A: widen the decision band (less twitchy mapping).
 	fixed := &abr.BB{ReservoirS: 8, CushionS: 14}
-	res := suite.Check(video, fixed, 0.05)
+	res, err := suite.Check(video, fixed, 0.05, 1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("fix A (band 8-22s):  mean QoE %.3f (%+.3f)  p5 %.3f  -> pass=%v\n",
 		res.MeanQoE, res.MeanDelta, res.P5QoE, res.Passed)
 
@@ -52,7 +58,10 @@ func main() {
 	//    fixed-trace suite — the recorded traces pin the *old* band, which
 	//    the new code happens to sidestep...
 	broken := &abr.BB{ReservoirS: 11, CushionS: 1}
-	res = suite.Check(video, broken, 0.05)
+	res, err = suite.Check(video, broken, 0.05, 1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("fix B (band 11-12s): mean QoE %.3f (%+.3f)  p5 %.3f  -> pass=%v\n\n",
 		res.MeanQoE, res.MeanDelta, res.P5QoE, res.Passed)
 

@@ -59,8 +59,14 @@ func main() {
 	robust := train(0.7)
 
 	report := func(name string, ds *trace.Dataset) {
-		p := core.EvaluateABR(video, ds, plain, 0.08)
-		r := core.EvaluateABR(video, ds, robust, 0.08)
+		p, err := core.EvaluateABR(video, ds, plain, 0.08, 1)
+		if err != nil {
+			panic(err)
+		}
+		r, err := core.EvaluateABR(video, ds, robust, 0.08, 1)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-22s  plain: mean %6.3f / p5 %6.3f    robust: mean %6.3f / p5 %6.3f\n",
 			name, stats.Mean(p), stats.Percentile(p, 5), stats.Mean(r), stats.Percentile(r, 5))
 	}

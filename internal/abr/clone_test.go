@@ -1,0 +1,58 @@
+package abr
+
+import (
+	"testing"
+
+	"advnet/internal/mathx"
+	"advnet/internal/rl"
+	"advnet/internal/trace"
+)
+
+// TestCloneProtocolDecisionIdentity: for every cloneable protocol, a clone
+// driven through RunSession must pick exactly the same level for every chunk
+// as the original on the same trace. This is the property the parallel
+// evaluation layer rests on — a worker holding a clone is indistinguishable
+// from the worker holding the original.
+func TestCloneProtocolDecisionIdentity(t *testing.T) {
+	v := testVideo(0.1)
+	ds := trace.GenerateFCCLikeDataset(mathx.NewRNG(17), trace.DefaultFCCLike(), 4, "fcc")
+	pensieve := NewPensieve(rlCategoricalForTest(t, v))
+
+	protocols := []Protocol{NewBB(), NewRateBased(), NewBOLA(), NewMPC(), pensieve}
+	for _, p := range protocols {
+		clone, err := CloneProtocol(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if clone == p {
+			t.Fatalf("%s: clone aliases the original", p.Name())
+		}
+		for ti, tr := range ds.Traces {
+			// Wall-time replay exercises stall/buffer dynamics; run the
+			// original first, then the clone — identical decisions also
+			// prove sessions leave no state behind that Reset misses.
+			orig := RunSession(v, &TraceLink{Trace: tr, RTTSeconds: 0.08}, DefaultSessionConfig(), p)
+			dup := RunSession(v, &TraceLink{Trace: tr, RTTSeconds: 0.08}, DefaultSessionConfig(), clone)
+			or, dr := orig.Results(), dup.Results()
+			if len(or) != len(dr) {
+				t.Fatalf("%s trace %d: %d chunks vs %d", p.Name(), ti, len(or), len(dr))
+			}
+			for i := range or {
+				if or[i].Level != dr[i].Level {
+					t.Errorf("%s trace %d chunk %d: original level %d, clone level %d",
+						p.Name(), ti, i, or[i].Level, dr[i].Level)
+				}
+			}
+			if orig.MeanQoE() != dup.MeanQoE() {
+				t.Errorf("%s trace %d: QoE %v vs clone %v", p.Name(), ti, orig.MeanQoE(), dup.MeanQoE())
+			}
+		}
+	}
+}
+
+// rlCategoricalForTest builds a small untrained Pensieve policy — decision
+// identity does not require a good policy, only a deterministic one.
+func rlCategoricalForTest(t *testing.T, v *Video) *rl.CategoricalPolicy {
+	t.Helper()
+	return rl.NewCategoricalPolicy(NewPensieveNet(mathx.NewRNG(5), v.Levels()))
+}

@@ -447,7 +447,10 @@ func TestRobustPensievePipeline(t *testing.T) {
 		t.Fatal("trace count")
 	}
 	// The resulting protocol must stream successfully.
-	qoes := EvaluateABR(v, ds, res.Protocol, 0.08)
+	qoes, err := EvaluateABR(v, ds, res.Protocol, 0.08, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(qoes) != 10 {
 		t.Fatal("evaluation count")
 	}

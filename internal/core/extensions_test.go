@@ -200,19 +200,31 @@ func TestABRRegressionSuite(t *testing.T) {
 	_, tr := RunScriptedABR(v, abr.NewBB(), NewBBBufferPinner(), 0.08, "reg")
 	ds := &trace.Dataset{Name: "reg", Traces: []*trace.Trace{tr}}
 
-	suite := NewABRRegressionSuite(v, abr.NewBB(), ds, 0.08)
+	suite, err := NewABRRegressionSuite(v, abr.NewBB(), ds, 0.08, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Unchanged protocol must pass with zero tolerance.
-	res := suite.Check(v, abr.NewBB(), 0)
+	res, err := suite.Check(v, abr.NewBB(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Passed || math.Abs(res.MeanDelta) > 1e-9 {
 		t.Fatalf("identity check failed: %+v", res)
 	}
 	// A much worse protocol (always top bitrate) should fail.
-	res = suite.Check(v, alwaysTop{}, 0.5)
+	res, err = suite.Check(v, alwaysTop{}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Passed {
 		t.Fatalf("regression not caught: %+v", res)
 	}
 	// An improved protocol (MPC on BB's adversarial trace) should pass.
-	res = suite.Check(v, abr.NewMPC(), 0)
+	res, err = suite.Check(v, abr.NewMPC(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Passed || res.MeanDelta <= 0 {
 		t.Fatalf("improvement misclassified: %+v", res)
 	}
@@ -228,7 +240,10 @@ func TestABRRegressionSuiteSaveLoad(t *testing.T) {
 	v := testVideo()
 	_, tr := RunScriptedABR(v, abr.NewBB(), NewBBBufferPinner(), 0.08, "reg")
 	ds := &trace.Dataset{Name: "reg", Traces: []*trace.Trace{tr}}
-	suite := NewABRRegressionSuite(v, abr.NewBB(), ds, 0.08)
+	suite, err := NewABRRegressionSuite(v, abr.NewBB(), ds, 0.08, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	path := filepath.Join(t.TempDir(), "suite.json")
 	if err := suite.Save(path); err != nil {
@@ -241,7 +256,11 @@ func TestABRRegressionSuiteSaveLoad(t *testing.T) {
 	if loaded.BaselineMeanQoE != suite.BaselineMeanQoE || len(loaded.Traces.Traces) != 1 {
 		t.Fatal("suite not preserved")
 	}
-	if !loaded.Check(v, abr.NewBB(), 0).Passed {
+	lres, err := loaded.Check(v, abr.NewBB(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lres.Passed {
 		t.Fatal("loaded suite fails identity check")
 	}
 }
@@ -250,15 +269,33 @@ func TestCCRegressionSuite(t *testing.T) {
 	adv := NewCCAdversary(mathx.NewRNG(51), DefaultCCAdversaryConfig())
 	adv.Cfg.EpisodeSteps = 200
 	newBBR := func() netem.CongestionController { return cc.NewBBR() }
-	suite := NewCCRegressionSuite("bbr", adv, newBBR, 2, 99)
+	suite, err := NewCCRegressionSuite("bbr", adv, newBBR, 2, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Identity re-check reproduces the baseline exactly (same seeds).
-	util, passed := suite.Check(newBBR, 0)
+	util, passed, err := suite.Check(newBBR, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !passed || math.Abs(util-suite.BaselineUtil) > 1e-12 {
 		t.Fatalf("identity check: util %v vs baseline %v", util, suite.BaselineUtil)
 	}
+	// A parallel re-check measures exactly the same utilization: episodes
+	// are seeded independently and folded in episode order.
+	util2, _, err := suite.Check(newBBR, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util2 != util {
+		t.Fatalf("parallel CC check diverged: %v vs %v", util2, util)
+	}
 	// Reno under the same adversary should behave differently; the check
 	// must still return a sane measurement.
-	u2, _ := suite.Check(func() netem.CongestionController { return cc.NewReno() }, 1)
+	u2, _, err := suite.Check(func() netem.CongestionController { return cc.NewReno() }, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if u2 < 0 || u2 > 1 {
 		t.Fatalf("reno utilization %v", u2)
 	}

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 
 	"advnet/internal/abr"
 	"advnet/internal/mathx"
 	"advnet/internal/netem"
+	"advnet/internal/rl"
 	"advnet/internal/stats"
 	"advnet/internal/trace"
 )
@@ -35,16 +37,22 @@ type ABRRegressionSuite struct {
 }
 
 // NewABRRegressionSuite records a baseline: it evaluates the protocol on the
-// traces and stores the statistics.
-func NewABRRegressionSuite(video *abr.Video, p abr.Protocol, traces *trace.Dataset, rttS float64) *ABRRegressionSuite {
-	q := EvaluateABRChunked(video, traces, p, rttS)
+// traces and stores the statistics. workers > 1 parallelizes the evaluation
+// (see EvaluateABRChunked); the recorded baseline is identical for any
+// worker count. Errors on an empty dataset or a non-cloneable protocol with
+// workers > 1.
+func NewABRRegressionSuite(video *abr.Video, p abr.Protocol, traces *trace.Dataset, rttS float64, workers int) (*ABRRegressionSuite, error) {
+	q, err := EvaluateABRChunked(video, traces, p, rttS, workers)
+	if err != nil {
+		return nil, err
+	}
 	return &ABRRegressionSuite{
 		ProtocolName:    p.Name(),
 		Traces:          traces,
 		RTTSeconds:      rttS,
 		BaselineMeanQoE: stats.Mean(q),
 		BaselineP5QoE:   stats.Percentile(q, 5),
-	}
+	}, nil
 }
 
 // RegressionResult reports one check.
@@ -58,9 +66,13 @@ type RegressionResult struct {
 
 // Check evaluates the (possibly modified) protocol against the recorded
 // traces and fails if its mean QoE fell more than tolerance below the
-// baseline. It returns the measurements either way.
-func (s *ABRRegressionSuite) Check(video *abr.Video, p abr.Protocol, tolerance float64) RegressionResult {
-	q := EvaluateABRChunked(video, s.Traces, p, s.RTTSeconds)
+// baseline. It returns the measurements either way. workers > 1
+// parallelizes the evaluation without changing the measurements.
+func (s *ABRRegressionSuite) Check(video *abr.Video, p abr.Protocol, tolerance float64, workers int) (RegressionResult, error) {
+	q, err := EvaluateABRChunked(video, s.Traces, p, s.RTTSeconds, workers)
+	if err != nil {
+		return RegressionResult{}, err
+	}
 	res := RegressionResult{
 		MeanQoE: stats.Mean(q),
 		P5QoE:   stats.Percentile(q, 5),
@@ -68,7 +80,7 @@ func (s *ABRRegressionSuite) Check(video *abr.Video, p abr.Protocol, tolerance f
 	res.MeanDelta = res.MeanQoE - s.BaselineMeanQoE
 	res.P5Delta = res.P5QoE - s.BaselineP5QoE
 	res.Passed = res.MeanDelta >= -tolerance
-	return res
+	return res, nil
 }
 
 // Save writes the suite to disk.
@@ -110,32 +122,79 @@ type CCRegressionSuite struct {
 }
 
 // NewCCRegressionSuite records a baseline by running the adversary online
-// against the protocol for the given number of episodes.
-func NewCCRegressionSuite(name string, adv *CCAdversary, newCC func() netem.CongestionController, episodes int, seed uint64) *CCRegressionSuite {
+// against the protocol for the given number of episodes. workers > 1 runs
+// that many episodes concurrently (each episode seeds its own RNG from
+// Seed+episode, so the baseline is identical for any worker count); newCC
+// must then be safe to call from multiple goroutines.
+func NewCCRegressionSuite(name string, adv *CCAdversary, newCC func() netem.CongestionController, episodes int, seed uint64, workers int) (*CCRegressionSuite, error) {
 	s := &CCRegressionSuite{ProtocolName: name, Adversary: adv, Episodes: episodes, Seed: seed}
-	s.BaselineUtil = s.measure(newCC)
-	return s
+	util, err := s.measure(newCC, workers)
+	if err != nil {
+		return nil, err
+	}
+	s.BaselineUtil = util
+	return s, nil
 }
 
-func (s *CCRegressionSuite) measure(newCC func() netem.CongestionController) float64 {
-	var total float64
-	for ep := 0; ep < s.Episodes; ep++ {
-		records := s.Adversary.RunEpisode(newCC, mathx.NewRNG(s.Seed+uint64(ep)), true)
+func (s *CCRegressionSuite) measure(newCC func() netem.CongestionController, workers int) (float64, error) {
+	if s.Episodes <= 0 {
+		return 0, fmt.Errorf("core: CC regression suite has no episodes")
+	}
+	// Per-episode utilizations indexed by episode so the final fold is in
+	// episode order regardless of which worker ran which episode.
+	utils := make([]float64, s.Episodes)
+	episode := func(adv *CCAdversary, ep int) {
+		records := adv.RunEpisode(newCC, mathx.NewRNG(s.Seed+uint64(ep)), true)
 		skip := len(records) / 3
 		var u float64
 		for _, r := range records[skip:] {
 			u += r.Utilization
 		}
-		total += u / float64(len(records)-skip)
+		utils[ep] = u / float64(len(records)-skip)
 	}
-	return total / float64(s.Episodes)
+	if workers > s.Episodes {
+		workers = s.Episodes
+	}
+	if workers <= 1 {
+		for ep := 0; ep < s.Episodes; ep++ {
+			episode(s.Adversary, ep)
+		}
+	} else {
+		advs := make([]*CCAdversary, workers)
+		advs[0] = s.Adversary
+		for w := 1; w < workers; w++ {
+			clone, err := rl.ClonePolicy(s.Adversary.Policy)
+			if err != nil {
+				return 0, fmt.Errorf("core: parallel CC regression: %w", err)
+			}
+			advs[w] = &CCAdversary{Policy: clone.(*rl.GaussianPolicy), Cfg: s.Adversary.Cfg}
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ep := w; ep < s.Episodes; ep += workers {
+					episode(advs[w], ep)
+				}
+			}(w)
+		}
+		for ep := 0; ep < s.Episodes; ep += workers {
+			episode(advs[0], ep)
+		}
+		wg.Wait()
+	}
+	return mathx.Sum(utils) / float64(s.Episodes), nil
 }
 
 // Check re-runs the adversary against the (possibly modified) protocol. It
 // passes when the protocol's utilization under attack did not fall more than
 // tolerance below the baseline — i.e., a previously-fixed weakness has not
-// regressed.
-func (s *CCRegressionSuite) Check(newCC func() netem.CongestionController, tolerance float64) (util float64, passed bool) {
-	util = s.measure(newCC)
-	return util, util >= s.BaselineUtil-tolerance
+// regressed. workers follows NewCCRegressionSuite.
+func (s *CCRegressionSuite) Check(newCC func() netem.CongestionController, tolerance float64, workers int) (util float64, passed bool, err error) {
+	util, err = s.measure(newCC, workers)
+	if err != nil {
+		return 0, false, err
+	}
+	return util, util >= s.BaselineUtil-tolerance, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"advnet/internal/abr"
 	"advnet/internal/mathx"
@@ -143,27 +144,74 @@ func TrainRobustPensieve(video *abr.Video, dataset *trace.Dataset, cfg RobustTra
 
 // EvaluateABR streams every trace of a dataset with the given protocol over
 // a wall-time trace replay and returns the per-video mean QoE values — the
-// unit Figures 1, 2 and 4 plot.
-func EvaluateABR(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, rttS float64) []float64 {
-	out := make([]float64, 0, len(dataset.Traces))
-	for _, tr := range dataset.Traces {
-		link := &abr.TraceLink{Trace: tr, RTTSeconds: rttS}
-		s := abr.RunSession(video, link, abr.DefaultSessionConfig(), p)
-		out = append(out, s.MeanQoE())
-	}
-	return out
+// unit Figures 1, 2 and 4 plot. workers > 1 evaluates that many traces
+// concurrently: worker 0 runs the protocol itself and every other worker an
+// abr.CloneProtocol copy, with traces assigned statically (worker w takes
+// traces w, w+workers, …) and each QoE written to its trace's slot, so the
+// result is identical to the sequential evaluation for any worker count.
+// It returns an error for a nil or empty dataset (the previous silent-empty
+// return fed empty slices into downstream summary statistics, where
+// mathx.Min/Max panic) and when workers > 1 and the protocol is not
+// cloneable.
+func EvaluateABR(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, rttS float64, workers int) ([]float64, error) {
+	return evaluateABR(video, dataset, p, workers, func(tr *trace.Trace) abr.Link {
+		return &abr.TraceLink{Trace: tr, RTTSeconds: rttS}
+	})
 }
 
 // EvaluateABRChunked is EvaluateABR with chunk-indexed replay (chunk i is
 // downloaded at the trace's i-th bandwidth), the exact semantic of the
 // online adversary's per-chunk actions. Replaying an adversarial trace this
-// way against its own target reproduces the online episode exactly.
-func EvaluateABRChunked(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, rttS float64) []float64 {
-	out := make([]float64, 0, len(dataset.Traces))
-	for _, tr := range dataset.Traces {
-		link := abr.NewChunkLink(tr, rttS)
-		s := abr.RunSession(video, link, abr.DefaultSessionConfig(), p)
-		out = append(out, s.MeanQoE())
+// way against its own target reproduces the online episode exactly. The
+// workers parameter and error conditions match EvaluateABR.
+func EvaluateABRChunked(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, rttS float64, workers int) ([]float64, error) {
+	return evaluateABR(video, dataset, p, workers, func(tr *trace.Trace) abr.Link {
+		return abr.NewChunkLink(tr, rttS)
+	})
+}
+
+// evaluateABR is the shared fan-out behind EvaluateABR and
+// EvaluateABRChunked, parameterized by the link constructor. Every session
+// starts with p.Reset() (inside abr.RunSession) and clones carry no session
+// state, so per-trace results do not depend on which worker runs them or in
+// what order — the determinism contract the golden tests pin.
+func evaluateABR(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, workers int, mkLink func(*trace.Trace) abr.Link) ([]float64, error) {
+	if dataset == nil || len(dataset.Traces) == 0 {
+		return nil, fmt.Errorf("core: evaluate %s on empty dataset", p.Name())
 	}
-	return out
+	n := len(dataset.Traces)
+	if workers > n {
+		workers = n
+	}
+	out := make([]float64, n)
+	shard := func(p abr.Protocol, w, stride int) {
+		for i := w; i < n; i += stride {
+			s := abr.RunSession(video, mkLink(dataset.Traces[i]), abr.DefaultSessionConfig(), p)
+			out[i] = s.MeanQoE()
+		}
+	}
+	if workers <= 1 {
+		shard(p, 0, 1)
+		return out, nil
+	}
+	clones := make([]abr.Protocol, workers)
+	clones[0] = p
+	for w := 1; w < workers; w++ {
+		c, err := abr.CloneProtocol(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: parallel evaluate: %w", err)
+		}
+		clones[w] = c
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard(clones[w], w, workers)
+		}(w)
+	}
+	shard(p, 0, workers)
+	wg.Wait()
+	return out, nil
 }

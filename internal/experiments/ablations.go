@@ -42,7 +42,10 @@ func AblationSmoothing(cfg Config) (*SmoothingAblation, error) {
 			smooth += tr.Smoothness()
 		}
 		smooth /= float64(len(d.Traces))
-		qoe := stats.Mean(core.EvaluateABRChunked(video, d, abr.NewBB(), cfg.RTTSeconds))
+		qoe, err := cfg.evalChunkedMean(video, d, abr.NewBB())
+		if err != nil {
+			return 0, 0, err
+		}
 		return smooth, qoe, nil
 	}
 	res := &SmoothingAblation{}
@@ -112,7 +115,10 @@ func AblationOptBaseline(cfg Config) (*OptBaselineAblation, error) {
 		d := adv.GenerateTraces(video, target, mathx.NewRNG(cfg.Seed+811), cfg.Traces/2+1, "abl")
 		oracle := abr.NewOfflineOptimal()
 		oracle.RTTSeconds = cfg.RTTSeconds
-		targetQoE := core.EvaluateABRChunked(video, d, abr.NewMPC(), cfg.RTTSeconds)
+		targetQoE, err := core.EvaluateABRChunked(video, d, abr.NewMPC(), cfg.RTTSeconds, cfg.evalWorkers())
+		if err != nil {
+			return 0, 0, err
+		}
 		var optSum float64
 		for _, tr := range d.Traces {
 			_, q := oracle.Solve(video, tr.Bandwidths())
@@ -262,7 +268,9 @@ func AblationOnlineVsTraceBased(cfg Config) (*OnlineVsTraceAblation, error) {
 		return nil, err
 	}
 	d := onlineAdv.GenerateTraces(video, abr.NewBB(), mathx.NewRNG(cfg.Seed+831), cfg.Traces/2+1, "online")
-	res.OnlineTargetQoE = stats.Mean(core.EvaluateABRChunked(video, d, abr.NewBB(), cfg.RTTSeconds))
+	if res.OnlineTargetQoE, err = cfg.evalChunkedMean(video, d, abr.NewBB()); err != nil {
+		return nil, err
+	}
 
 	// Same number of simulated chunks for the trace-based adversary: each
 	// of its env steps simulates one whole video.
@@ -278,10 +286,14 @@ func AblationOnlineVsTraceBased(cfg Config) (*OnlineVsTraceAblation, error) {
 		return nil, err
 	}
 	td := traceAdv.GenerateTraces(mathx.NewRNG(cfg.Seed+833), cfg.Traces/2+1, "trace-based")
-	res.TraceTargetQoE = stats.Mean(core.EvaluateABRChunked(video, td, abr.NewBB(), cfg.RTTSeconds))
+	if res.TraceTargetQoE, err = cfg.evalChunkedMean(video, td, abr.NewBB()); err != nil {
+		return nil, err
+	}
 
 	rd := trace.GenerateRandomDataset(mathx.NewRNG(cfg.Seed+834), randomTraceConfig(), cfg.Traces/2+1, "rand")
-	res.RandomTargetQoE = stats.Mean(core.EvaluateABRChunked(video, rd, abr.NewBB(), cfg.RTTSeconds))
+	if res.RandomTargetQoE, err = cfg.evalChunkedMean(video, rd, abr.NewBB()); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

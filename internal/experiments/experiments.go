@@ -36,6 +36,29 @@ type Config struct {
 	Restarts      int // independent adversary trainings to pick the best of
 	Fig4Seeds     int // independent training seeds averaged in Figure 4
 	RTTSeconds    float64
+	// Workers > 1 parallelizes adversary training rollouts (PR 1's
+	// VecRunner) and every trace/episode evaluation sweep in the figure
+	// pipelines (core.EvaluateABR*). Results are identical for any worker
+	// count; ≤ 1 keeps the single-threaded path.
+	Workers int
+}
+
+// evalWorkers returns the worker count for evaluation fan-outs (≥ 1).
+func (c Config) evalWorkers() int {
+	if c.Workers > 1 {
+		return c.Workers
+	}
+	return 1
+}
+
+// evalChunkedMean evaluates a protocol over a dataset (chunk-indexed replay,
+// parallelized per c.Workers) and returns the mean QoE.
+func (c Config) evalChunkedMean(video *abr.Video, d *trace.Dataset, p abr.Protocol) (float64, error) {
+	q, err := core.EvaluateABRChunked(video, d, p, c.RTTSeconds, c.evalWorkers())
+	if err != nil {
+		return 0, err
+	}
+	return stats.Mean(q), nil
 }
 
 // Fast returns the reduced-budget configuration.
@@ -201,7 +224,7 @@ func Figure1And2(cfg Config) (*Fig12Result, error) {
 	bb := abr.NewBB()
 	protocols := []abr.Protocol{pensieve, mpc, bb}
 
-	advOpt := core.ABRTrainOptions{Iterations: cfg.ABRAdvIters, RolloutSteps: 1536, LR: 1e-3, Restarts: cfg.Restarts}
+	advOpt := core.ABRTrainOptions{Iterations: cfg.ABRAdvIters, RolloutSteps: 1536, LR: 1e-3, Restarts: cfg.Restarts, Workers: cfg.Workers}
 	acfg := core.DefaultABRAdversaryConfig()
 
 	gen := func(target abr.Protocol, seed uint64, name string) (*trace.Dataset, error) {
@@ -222,18 +245,27 @@ func Figure1And2(cfg Config) (*Fig12Result, error) {
 	randTraces := trace.GenerateRandomDataset(mathx.NewRNG(cfg.Seed+400), randomTraceConfig(), cfg.Traces, "random")
 
 	res := &Fig12Result{}
-	eval := func(name string, d *trace.Dataset) QoESet {
+	eval := func(name string, d *trace.Dataset) (QoESet, error) {
 		set := QoESet{TraceSet: name, QoE: map[string][]float64{}}
 		for _, p := range protocols {
-			set.QoE[p.Name()] = core.EvaluateABRChunked(video, d, p, cfg.RTTSeconds)
+			q, err := core.EvaluateABRChunked(video, d, p, cfg.RTTSeconds, cfg.evalWorkers())
+			if err != nil {
+				return QoESet{}, err
+			}
+			set.QoE[p.Name()] = q
 		}
-		return set
+		return set, nil
 	}
-	res.Sets = append(res.Sets,
-		eval("mpc-targeted", mpcTraces),
-		eval("pensieve-targeted", pensieveTraces),
-		eval("random", randTraces),
-	)
+	for _, s := range []struct {
+		name string
+		d    *trace.Dataset
+	}{{"mpc-targeted", mpcTraces}, {"pensieve-targeted", pensieveTraces}, {"random", randTraces}} {
+		set, err := eval(s.name, s.d)
+		if err != nil {
+			return nil, err
+		}
+		res.Sets = append(res.Sets, set)
+	}
 
 	ratio := func(set QoESet, num, den string) stats.RatioSummary {
 		shifted, _ := stats.ShiftPositive(0.1, set.QoE[num], set.QoE[den])

@@ -50,7 +50,7 @@ func Figure4(cfg Config) (*Fig4Result, error) {
 		rcfg.TotalIterations = cfg.RobustIters
 		rcfg.InjectAtFrac = frac
 		rcfg.AdversarialTraces = cfg.RobustTraces
-		rcfg.AdvOpt = core.ABRTrainOptions{Iterations: cfg.ABRAdvIters, RolloutSteps: 1536, LR: 1e-3, Restarts: cfg.Restarts}
+		rcfg.AdvOpt = core.ABRTrainOptions{Iterations: cfg.ABRAdvIters, RolloutSteps: 1536, LR: 1e-3, Restarts: cfg.Restarts, Workers: cfg.Workers}
 		rcfg.RTTSeconds = cfg.RTTSeconds
 		res, err := core.TrainRobustPensieve(video, ds, rcfg, mathx.NewRNG(seed))
 		if err != nil {
@@ -95,10 +95,21 @@ func Figure4(cfg Config) (*Fig4Result, error) {
 			}
 			for _, es := range testSets {
 				cell := cellAt[es.name]
-				q := func(a *abr.Pensieve) []float64 {
-					return core.EvaluateABR(video, es.ds, a, cfg.RTTSeconds)
+				q := func(a *abr.Pensieve) ([]float64, error) {
+					return core.EvaluateABR(video, es.ds, a, cfg.RTTSeconds, cfg.evalWorkers())
 				}
-				no, a90, a70 := q(agents["noadv"]), q(agents["adv90"]), q(agents["adv70"])
+				no, err := q(agents["noadv"])
+				if err != nil {
+					return nil, err
+				}
+				a90, err := q(agents["adv90"])
+				if err != nil {
+					return nil, err
+				}
+				a70, err := q(agents["adv70"])
+				if err != nil {
+					return nil, err
+				}
 				inv := 1.0 / float64(seeds)
 				cell.MeanNoAdv += stats.Mean(no) * inv
 				cell.MeanAdv90 += stats.Mean(a90) * inv
@@ -158,6 +169,7 @@ func Figure5And6(cfg Config) (*Fig56Result, error) {
 	acfg := core.DefaultCCAdversaryConfig()
 	opt := core.DefaultCCTrainOptions()
 	opt.Iterations = cfg.CCAdvIters
+	opt.Workers = cfg.Workers
 	newBBR := func() netem.CongestionController { return cc.NewBBR() }
 
 	adv, _, err := core.TrainCCAdversary(newBBR, acfg, opt, mathx.NewRNG(cfg.Seed+700))

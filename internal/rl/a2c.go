@@ -101,7 +101,8 @@ func (a *A2C) TrainIteration(env Env) IterStats {
 		v, cache := a.Value.Forward(s.obs)
 		diff := v[0] - s.ret
 		a.Value.Backward(cache, []float64{a.cfg.ValueCoef * diff})
-		sumValueLoss += 0.5 * diff * diff
+		// Report the optimized quantity: ValueCoef scales the stat too.
+		sumValueLoss += a.cfg.ValueCoef * 0.5 * diff * diff
 	}
 	n := float64(a.buf.len())
 	a.Policy.ScaleGrads(1 / n)

@@ -68,7 +68,8 @@ type IterStats struct {
 	MeanEpReward  float64 // mean total reward of completed episodes
 	MeanStepRew   float64 // mean per-step reward across the rollout
 	PolicyLoss    float64
-	ValueLoss     float64
+	ValueLoss     float64 // optimized value objective c_V·0.5·(V−ret)², incl. ValueCoef
+
 	Entropy       float64
 	ClipFraction  float64 // fraction of samples where the ratio was clipped
 	ApproxKL      float64 // mean (logp_old - logp_new), a KL proxy
@@ -257,12 +258,14 @@ func (p *PPO) update(stats *IterStats) {
 				}
 				bp.BatchGrad(p.uwLogp[:m], -p.cfg.EntropyCoef)
 
-				// Value term: 0.5·(V(s) − ret)², batched.
+				// Value term: c_V·0.5·(V(s) − ret)², batched. The reported
+				// loss carries the same ValueCoef scaling as the gradient so
+				// the stat is the quantity the optimizer actually descends.
 				vs := p.Value.ForwardBatch(p.vbcache, p.uobs, m)
 				for k, idx := range batch {
 					diff := vs[k] - p.buf.steps[idx].ret
 					p.uvdOut[k] = p.cfg.ValueCoef * diff
-					sumValueLoss += 0.5 * diff * diff
+					sumValueLoss += p.cfg.ValueCoef * 0.5 * diff * diff
 				}
 				p.Value.BackwardBatch(p.vbcache, p.uvdOut[:m])
 			} else {
@@ -303,11 +306,12 @@ func (p *PPO) update(stats *IterStats) {
 					}
 					samples++
 
-					// Value term: 0.5·(V(s) − ret)².
+					// Value term: c_V·0.5·(V(s) − ret)², reported with the
+					// same ValueCoef scaling the gradient uses.
 					v, cache := p.Value.Forward(s.obs)
 					diff := v[0] - s.ret
 					p.Value.Backward(cache, []float64{p.cfg.ValueCoef * diff})
-					sumValueLoss += 0.5 * diff * diff
+					sumValueLoss += p.cfg.ValueCoef * 0.5 * diff * diff
 				}
 			}
 			inv := 1.0 / float64(len(batch))
@@ -331,48 +335,3 @@ func (p *PPO) update(stats *IterStats) {
 	}
 }
 
-// EvalStats summarizes deterministic policy evaluation.
-type EvalStats struct {
-	Episodes      int
-	MeanReward    float64 // mean total episode reward
-	StdReward     float64
-	MeanEpLength  float64
-	RewardPerStep float64
-}
-
-// Evaluate runs the policy deterministically (Mode actions) for the given
-// number of episodes and returns aggregate statistics.
-func Evaluate(policy Policy, env Env, episodes int) EvalStats {
-	var totals []float64
-	var lengths []float64
-	var steps, stepRewardSum float64
-	for ep := 0; ep < episodes; ep++ {
-		obs := env.Reset()
-		total := 0.0
-		length := 0
-		for {
-			action := policy.Mode(obs)
-			next, reward, done := env.Step(action)
-			total += reward
-			stepRewardSum += reward
-			steps++
-			length++
-			if done {
-				break
-			}
-			obs = next
-		}
-		totals = append(totals, total)
-		lengths = append(lengths, float64(length))
-	}
-	st := EvalStats{
-		Episodes:     episodes,
-		MeanReward:   mathx.Mean(totals),
-		StdReward:    mathx.StdDev(totals),
-		MeanEpLength: mathx.Mean(lengths),
-	}
-	if steps > 0 {
-		st.RewardPerStep = stepRewardSum / steps
-	}
-	return st
-}

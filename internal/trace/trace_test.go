@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"testing/quick"
 
@@ -370,6 +371,123 @@ func TestMahimahiLowRate(t *testing.T) {
 	lines := bytes.Count(buf.Bytes(), []byte("\n"))
 	if lines != 10 {
 		t.Fatalf("%d opportunities for 1s at 0.12 Mbps, want 10", lines)
+	}
+}
+
+// mahimahiStamps parses the writer's output into the raw stamp sequence.
+func mahimahiStamps(t *testing.T, tr *Trace) []int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteMahimahi(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var stamps []int
+	for _, line := range bytes.Fields(buf.Bytes()) {
+		v, err := strconv.Atoi(string(line))
+		if err != nil {
+			t.Fatalf("non-numeric stamp %q", line)
+		}
+		stamps = append(stamps, v)
+	}
+	return stamps
+}
+
+// expectedMahimahiPackets is the exact delivery-opportunity budget of a
+// trace: sum of bandwidth·duration over the packet size.
+func expectedMahimahiPackets(tr *Trace) float64 {
+	var bits float64
+	for _, p := range tr.Points {
+		bits += p.BandwidthMbps * 1e6 * p.Duration
+	}
+	return bits / mahimahiPacketBits
+}
+
+// TestMahimahiFractionalDurations is the regression test for the float
+// millisecond-cursor bug: interval durations of 0.25 s and 1.5 s (and a
+// fractional-bandwidth point) must export the exact packet budget — within
+// one packet of bandwidth·duration — with strictly non-decreasing integer
+// stamps bounded by the trace's total duration, and must round-trip through
+// ReadMahimahi at the original bandwidths.
+func TestMahimahiFractionalDurations(t *testing.T) {
+	tr := &Trace{Name: "frac", Points: []Point{
+		{Duration: 0.25, BandwidthMbps: 12, LatencyMs: 20},  // 250 packets over 250 ms
+		{Duration: 1.5, BandwidthMbps: 2.4, LatencyMs: 20},  // 300 packets over 1500 ms
+		{Duration: 0.25, BandwidthMbps: 4.8, LatencyMs: 20}, // 100 packets over 250 ms
+	}}
+	stamps := mahimahiStamps(t, tr)
+	want := expectedMahimahiPackets(tr) // 650
+	if math.Abs(float64(len(stamps))-want) > 1 {
+		t.Fatalf("%d delivery opportunities, want %.0f ± 1", len(stamps), want)
+	}
+	totalMs := 2000
+	for i, s := range stamps {
+		if s < 1 || s > totalMs {
+			t.Fatalf("stamp %d out of range [1,%d]", s, totalMs)
+		}
+		if i > 0 && s < stamps[i-1] {
+			t.Fatalf("stamps regress: %d after %d", s, stamps[i-1])
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteMahimahi(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMahimahi(&buf, 250, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intervals of 250 ms align with the trace's structure: 12, then six
+	// intervals of 2.4, then 4.8. One packet of slack per interval is
+	// 0.048 Mbps at this interval length.
+	wantBw := []float64{12, 2.4, 2.4, 2.4, 2.4, 2.4, 2.4, 4.8}
+	if len(back.Points) != len(wantBw) {
+		t.Fatalf("%d intervals, want %d", len(back.Points), len(wantBw))
+	}
+	for i, p := range back.Points {
+		if math.Abs(p.BandwidthMbps-wantBw[i]) > 0.05 {
+			t.Errorf("interval %d: %v Mbps, want %v", i, p.BandwidthMbps, wantBw[i])
+		}
+	}
+}
+
+// TestMahimahiSubMillisecondBoundaries drives the writer across interval
+// boundaries that split single milliseconds (durations like 10.3 ms). The
+// old float loop drifted its cursor and duplicated or dropped stamps here;
+// integer-tick accounting must stay within one packet of the exact budget
+// even after thousands of misaligned boundaries.
+func TestMahimahiSubMillisecondBoundaries(t *testing.T) {
+	rng := mathx.NewRNG(99)
+	tr := &Trace{Name: "subms"}
+	for i := 0; i < 2000; i++ {
+		tr.Points = append(tr.Points, Point{
+			Duration:      0.0103 + 0.0007*rng.Float64(), // 10.3–11 ms, never whole
+			BandwidthMbps: 1 + 11*rng.Float64(),
+			LatencyMs:     20,
+		})
+	}
+	stamps := mahimahiStamps(t, tr)
+	want := expectedMahimahiPackets(tr)
+	if math.Abs(float64(len(stamps))-want) > 1 {
+		t.Fatalf("%d delivery opportunities, want %.1f ± 1", len(stamps), want)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatalf("stamps regress at %d: %d after %d", i, stamps[i], stamps[i-1])
+		}
+	}
+}
+
+// TestMahimahiLongTraceNoDrift: an hour of 1.0001-second intervals — the
+// accumulating-float-error case — must still hit the exact packet budget.
+func TestMahimahiLongTraceNoDrift(t *testing.T) {
+	tr := &Trace{Name: "long"}
+	for i := 0; i < 3600; i++ {
+		tr.Points = append(tr.Points, Point{Duration: 1.0001, BandwidthMbps: 1.2, LatencyMs: 20})
+	}
+	stamps := mahimahiStamps(t, tr)
+	want := expectedMahimahiPackets(tr)
+	if math.Abs(float64(len(stamps))-want) > 1 {
+		t.Fatalf("%d delivery opportunities, want %.1f ± 1", len(stamps), want)
 	}
 }
 
