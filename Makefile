@@ -21,10 +21,11 @@ race:
 	$(GO) test -race ./...
 
 # Micro-benchmarks for the NN hot path (must report 0 allocs/op), the
-# parallel PPO iteration (W=1 vs W=4), and the parallel dataset evaluation
-# (W=1 vs W=4). Results are recorded in EXPERIMENTS.md.
+# batched minibatch kernels (row loops vs blocked GEMM), the parallel PPO
+# iteration (W=1 vs W=4), and the parallel dataset evaluation (W=1 vs W=4).
+# Results are recorded in EXPERIMENTS.md.
 bench:
-	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR' -benchmem .
+	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkForwardBatch|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR' -benchmem .
 
 # Tier-1 verification: build + tests, plus vet and the race detector.
 verify: build vet test race

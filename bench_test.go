@@ -291,6 +291,45 @@ func BenchmarkMLPBackward(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardBatch compares the two BatchCache execution modes on a
+// Pensieve-sized MLP (the robustification pipeline's policy shape) at a
+// PPO-minibatch batch size: the default row-at-a-time loops (bit-for-bit
+// identical to per-sample passes) versus the blocked GEMM kernels (same
+// arithmetic, reordered summation, higher throughput). Each iteration runs
+// one forward and one backward pass over the minibatch; both modes must be
+// allocation-free. Results are recorded in EXPERIMENTS.md.
+func BenchmarkForwardBatch(b *testing.B) {
+	const levels = 6
+	const batch = 64
+	rng := mathx.NewRNG(11)
+	m := abr.NewPensieveNet(rng, levels)
+	in, out := m.InputSize(), m.OutputSize()
+	xs := make([]float64, batch*in)
+	for i := range xs {
+		xs[i] = rng.Uniform(-1, 1)
+	}
+	douts := make([]float64, batch*out)
+	for i := range douts {
+		douts[i] = rng.Uniform(-1, 1)
+	}
+	for _, mode := range []struct {
+		name string
+		c    *nn.BatchCache
+	}{
+		{"rows", m.NewBatchCache(batch)},
+		{"gemm", m.NewBatchCacheGEMM(batch)},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ForwardBatch(mode.c, xs, batch)
+				m.BackwardBatch(mode.c, douts)
+			}
+		})
+	}
+}
+
 // BenchmarkPPOTrainIteration measures one full PPO iteration (rollout
 // collection + minibatch update) of the ABR adversary against MPC, with the
 // single-threaded path and the 4-worker pool. On a multi-core machine W=4

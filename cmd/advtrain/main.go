@@ -30,6 +30,7 @@ func main() {
 	iters := flag.Int("iters", 0, "PPO iterations (0 = domain default)")
 	seed := flag.Uint64("seed", 1, "training seed")
 	workers := flag.Int("workers", 1, "parallel rollout workers (1 = historical single-threaded path)")
+	gemm := flag.Bool("gemm", false, "blocked GEMM minibatch updates (faster; matches the default path to rounding, not bitwise)")
 	flag.Parse()
 
 	rng := mathx.NewRNG(*seed)
@@ -54,6 +55,7 @@ func main() {
 			opt.Iterations = *iters
 		}
 		opt.Workers = *workers
+		opt.GEMM = *gemm
 		log.Printf("training ABR adversary against %s for %d iterations (%d workers)...", proto.Name(), opt.Iterations, *workers)
 		adv, stats, err := core.TrainABRAdversary(video, proto, core.DefaultABRAdversaryConfig(), opt, rng)
 		if err != nil {
@@ -95,6 +97,7 @@ func main() {
 			opt.Iterations = *iters
 		}
 		opt.Workers = *workers
+		opt.GEMM = *gemm
 		log.Printf("training CC adversary against %s for %d iterations (%d workers)...", *target, opt.Iterations, *workers)
 		adv, stats, err := core.TrainCCAdversary(newCC, core.DefaultCCAdversaryConfig(), opt, rng)
 		if err != nil {

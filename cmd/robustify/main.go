@@ -31,6 +31,7 @@ func main() {
 	nTraces := flag.Int("n", 25, "adversarial traces to inject")
 	seed := flag.Uint64("seed", 1, "training seed")
 	workers := flag.Int("workers", 1, "parallel rollout workers for both the protocol and the adversary (1 = single-threaded)")
+	gemm := flag.Bool("gemm", false, "blocked GEMM minibatch updates for both PPO runs (faster; matches the default path to rounding, not bitwise)")
 	flag.Parse()
 
 	var ds *trace.Dataset
@@ -55,8 +56,9 @@ func main() {
 	cfg.TotalIterations = *iters
 	cfg.InjectAtFrac = *inject
 	cfg.AdversarialTraces = *nTraces
-	cfg.AdvOpt = core.ABRTrainOptions{Iterations: *advIters, RolloutSteps: 1536, LR: 1e-3, Workers: *workers}
+	cfg.AdvOpt = core.ABRTrainOptions{Iterations: *advIters, RolloutSteps: 1536, LR: 1e-3, Workers: *workers, GEMM: *gemm}
 	cfg.Workers = *workers
+	cfg.GEMM = *gemm
 
 	log.Printf("training on %q (%d traces), injecting at %.0f%%, %d workers...", ds.Name, len(ds.Traces), 100**inject, *workers)
 	res, err := core.TrainRobustPensieve(video, ds, cfg, rng.Split())

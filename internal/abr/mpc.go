@@ -56,11 +56,22 @@ func (m *MPC) SelectLevel(o *Observation) int {
 		}
 	}
 	robust := pred / (1 + maxErr)
-	m.lastPred = robust
+	// Track the raw harmonic-mean prediction, not the discounted one: the
+	// next chunk's error must measure how wrong the *predictor* was.
+	// Scoring the discounted value compounds the discount — a persistent
+	// maxErr makes lastPred undershoot, which registers as fresh error,
+	// which deepens the discount — so it never recovers even on a
+	// perfectly steady link.
+	m.lastPred = pred
 
 	horizon := m.Horizon
 	if rem := o.TotalChunks - o.ChunkIndex; rem < horizon {
 		horizon = rem
+	}
+	if horizon <= 0 {
+		// At or past the last chunk there is nothing to plan; search
+		// would index an empty sequence.
+		return 0
 	}
 	best, _ := m.search(o, robust, horizon)
 	return best

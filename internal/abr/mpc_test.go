@@ -1,0 +1,100 @@
+package abr
+
+import (
+	"math"
+	"testing"
+)
+
+// mpcObs builds a mid-session observation whose bandwidth history is hist
+// (Mbps, oldest first).
+func mpcObs(v *Video, chunk int, hist []float64) *Observation {
+	o := &Observation{
+		ChunkIndex:     chunk,
+		TotalChunks:    v.NumChunks(),
+		Levels:         v.Levels(),
+		BitratesKbps:   v.BitratesKbps,
+		ChunkSeconds:   v.ChunkSeconds,
+		LastLevel:      0,
+		BufferS:        8,
+		NextSizesBits:  v.ChunkSizes(chunk % v.NumChunks()),
+		ThroughputHist: hist,
+	}
+	if len(hist) > 0 {
+		o.LastThroughput = hist[len(hist)-1]
+	}
+	return o
+}
+
+// TestMPCRobustDiscountRecovers: the robustness discount must be driven by
+// the *predictor's* realized error, so after an initial bandwidth shock a
+// perfectly steady link drives the error window back to zero and the discount
+// back to 1. The historical bug scored each prediction against the already-
+// discounted value, so any one-off error fed back into itself and the
+// discount never recovered.
+func TestMPCRobustDiscountRecovers(t *testing.T) {
+	v := testVideo(0)
+	m := NewMPC()
+	m.Reset()
+
+	// One slow chunk, then a long run at a constant 3 Mbps.
+	hist := []float64{1}
+	for chunk := 1; chunk < 15; chunk++ {
+		m.SelectLevel(mpcObs(v, chunk, hist))
+		hist = append(hist, 3)
+	}
+
+	// The last HistoryLen throughputs are all 3, so the harmonic mean —
+	// and therefore lastPred — is 3 (to rounding), and the last
+	// HistoryLen realized errors are ~0: the discount has recovered to
+	// ~1. With the compounding bug, lastPred stays discounted below 3
+	// and every windowed error stays ≳0.25 forever.
+	if math.Abs(m.lastPred-3) > 1e-12 {
+		t.Fatalf("lastPred = %v, want the raw harmonic mean 3", m.lastPred)
+	}
+	for i, e := range m.pastErrors {
+		if e > 1e-12 {
+			t.Fatalf("pastErrors[%d] = %v after a steady link; discount is compounding", i, e)
+		}
+	}
+}
+
+// TestMPCDiscountConvergesToRawPrediction: while errors are still in the
+// window, lastPred must track the undiscounted harmonic mean, never the
+// discounted value handed to the search.
+func TestMPCDiscountConvergesToRawPrediction(t *testing.T) {
+	v := testVideo(0)
+	m := NewMPC()
+	m.Reset()
+	// First call seeds lastPred; the second realizes a large error
+	// against it (predicted HM(1)=1, observed 3).
+	m.SelectLevel(mpcObs(v, 2, []float64{1}))
+	hist := []float64{1, 3, 3}
+	m.SelectLevel(mpcObs(v, 3, hist))
+
+	want := HarmonicMean(hist, m.HistoryLen)
+	if math.Abs(m.lastPred-want) > 1e-12 {
+		t.Fatalf("lastPred = %v, want raw prediction %v", m.lastPred, want)
+	}
+	if len(m.pastErrors) == 0 || m.pastErrors[len(m.pastErrors)-1] <= 0 {
+		t.Fatal("expected a recorded positive prediction error")
+	}
+}
+
+// TestMPCSelectLevelAtFinalChunk: calling SelectLevel when no chunks remain
+// (horizon clamps to 0) must return the lowest level, not index an empty
+// search sequence.
+func TestMPCSelectLevelAtFinalChunk(t *testing.T) {
+	v := testVideo(0)
+	m := NewMPC()
+	m.Reset()
+	o := mpcObs(v, v.NumChunks(), []float64{3, 3, 3})
+	o.ChunkIndex = v.NumChunks() // rem = 0
+	if got := m.SelectLevel(o); got != 0 {
+		t.Fatalf("SelectLevel at video end = %d, want 0", got)
+	}
+	// And one past the end (defensive: rem < 0).
+	o.ChunkIndex = v.NumChunks() + 1
+	if got := m.SelectLevel(o); got != 0 {
+		t.Fatalf("SelectLevel past video end = %d, want 0", got)
+	}
+}

@@ -281,6 +281,11 @@ type ABRTrainOptions struct {
 	// keeps the single-threaded path, which is bit-for-bit the historical
 	// behaviour.
 	Workers int
+	// GEMM routes PPO's minibatch updates through the blocked
+	// matrix–matrix kernels (rl.PPOConfig.GEMM). Faster on large
+	// rollouts; results match the default path to rounding rather than
+	// bitwise.
+	GEMM bool
 }
 
 // DefaultABRTrainOptions returns settings sized for the repository's
@@ -341,6 +346,7 @@ func trainABRAdversaryOnce(video *abr.Video, target abr.Protocol, cfg ABRAdversa
 	pcfg := rl.DefaultPPOConfig()
 	pcfg.RolloutSteps = opt.RolloutSteps
 	pcfg.LR = opt.LR
+	pcfg.GEMM = opt.GEMM
 	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
 	if err != nil {
 		return nil, nil, err

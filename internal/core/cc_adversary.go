@@ -255,6 +255,11 @@ type CCTrainOptions struct {
 	// Workers ≤ 1 keeps the single-threaded path, which is bit-for-bit
 	// the historical behaviour.
 	Workers int
+	// GEMM routes PPO's minibatch updates through the blocked
+	// matrix–matrix kernels (rl.PPOConfig.GEMM). Faster on large
+	// rollouts; results match the default path to rounding rather than
+	// bitwise.
+	GEMM bool
 }
 
 // DefaultCCTrainOptions returns settings sized for the repository's
@@ -281,6 +286,7 @@ func TrainCCAdversary(newCC func() netem.CongestionController, cfg CCAdversaryCo
 	if opt.Lambda > 0 {
 		pcfg.Lambda = opt.Lambda
 	}
+	pcfg.GEMM = opt.GEMM
 	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
 	if err != nil {
 		return nil, nil, err

@@ -167,6 +167,7 @@ func TrainFairnessAdversary(newCCs []func() netem.CongestionController, cfg CCAd
 	if opt.Lambda > 0 {
 		pcfg.Lambda = opt.Lambda
 	}
+	pcfg.GEMM = opt.GEMM
 	ppo, err := rl.NewPPO(adv.Policy, value, pcfg, rng)
 	if err != nil {
 		return nil, nil, err

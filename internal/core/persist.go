@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"advnet/internal/fsx"
 	"advnet/internal/mathx"
 	"advnet/internal/nn"
 	"advnet/internal/rl"
@@ -36,7 +37,7 @@ func (a *ABRAdversary) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsx.WriteFileAtomic(path, data, 0o644)
 }
 
 // LoadABRAdversary reads an adversary previously written by Save.
@@ -70,7 +71,7 @@ func (a *CCAdversary) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsx.WriteFileAtomic(path, data, 0o644)
 }
 
 // LoadCCAdversary reads an adversary previously written by Save.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"advnet/internal/abr"
+	"advnet/internal/fsx"
 	"advnet/internal/mathx"
 	"advnet/internal/netem"
 	"advnet/internal/rl"
@@ -83,13 +84,13 @@ func (s *ABRRegressionSuite) Check(video *abr.Video, p abr.Protocol, tolerance f
 	return res, nil
 }
 
-// Save writes the suite to disk.
+// Save writes the suite to disk atomically.
 func (s *ABRRegressionSuite) Save(path string) error {
 	data, err := json.MarshalIndent(s, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsx.WriteFileAtomic(path, data, 0o644)
 }
 
 // LoadABRRegressionSuite reads a suite previously written by Save.

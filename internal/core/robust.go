@@ -36,6 +36,11 @@ type RobustTrainConfig struct {
 	// via AdvOpt.Workers. Workers ≤ 1 is the historical single-threaded
 	// path.
 	Workers int
+	// GEMM routes the protocol PPO's minibatch updates through the
+	// blocked matrix–matrix kernels (rl.PPOConfig.GEMM); the adversary of
+	// step (2) opts in separately via AdvOpt.GEMM. Results match the
+	// default path to rounding rather than bitwise.
+	GEMM bool
 }
 
 // DefaultRobustTrainConfig returns a pipeline configuration sized for the
@@ -77,6 +82,7 @@ func TrainRobustPensieve(video *abr.Video, dataset *trace.Dataset, cfg RobustTra
 	pcfg := rl.DefaultPPOConfig()
 	pcfg.RolloutSteps = cfg.RolloutSteps
 	pcfg.LR = cfg.LR
+	pcfg.GEMM = cfg.GEMM
 	ppo, err := rl.NewPPO(policy, value, pcfg, rng)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,53 @@
+// Package fsx holds small filesystem helpers shared by every package that
+// persists artifacts (trained networks, adversary snapshots, trace datasets).
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers never observe a
+// partially-written file: the bytes go to a temporary file in the same
+// directory, which is fsync'd and then renamed over path. A crash mid-write
+// leaves the previous contents of path intact. The rename also means path is
+// replaced, never truncated in place, so a concurrent reader sees either the
+// old file or the new one.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// On any failure, remove the orphaned temp file before reporting.
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp makes the file 0600; apply the requested mode before it
+	// becomes visible under its final name.
+	if err := os.Chmod(tmp, perm); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -7,19 +7,31 @@ import "fmt"
 // maximum batch size and reused across minibatches, so the PPO update loop
 // performs no per-step allocations.
 //
-// ForwardBatch/BackwardBatch are exact batched transcriptions of the
-// per-sample ForwardInto/BackwardInto: every sample is processed with the
-// same instruction sequence, and BackwardBatch accumulates each sample's
-// parameter gradients in sample order. A batched pass is therefore
-// bit-for-bit identical to the equivalent sequence of per-sample passes.
+// In the default mode, ForwardBatch/BackwardBatch are exact batched
+// transcriptions of the per-sample ForwardInto/BackwardInto: every sample is
+// processed with the same instruction sequence, and BackwardBatch
+// accumulates each sample's parameter gradients in sample order. A batched
+// pass is therefore bit-for-bit identical to the equivalent sequence of
+// per-sample passes.
+//
+// A cache built with NewBatchCacheGEMM instead routes both passes through
+// blocked matrix–matrix kernels (see gemm.go): same arithmetic, higher
+// throughput, but a different floating-point summation order, so results
+// agree with the per-sample path only to rounding (~1e-12 relative).
 type BatchCache struct {
 	capacity int
-	n        int // rows in the last ForwardBatch
+	n        int  // rows in the last ForwardBatch
+	gemm     bool // route through the blocked GEMM kernels
 	// acts[0] is the input matrix; acts[i] the (post-activation) output of
 	// layer i-1. Each is capacity×width_i, row-major.
 	acts [][]float64
 	// drow[i] is a single-row backward scratch of width_i.
 	drow [][]float64
+	// GEMM-mode scratch (nil otherwise): wt[l] holds layer l's weights
+	// transposed (In×Out, refreshed each forward pass); dmat mirrors acts
+	// and holds the full backward gradient matrices.
+	wt   [][]float64
+	dmat [][]float64
 }
 
 // NewBatchCache returns a cache able to hold up to capacity samples.
@@ -38,8 +50,29 @@ func (m *MLP) NewBatchCache(capacity int) *BatchCache {
 	return c
 }
 
+// NewBatchCacheGEMM returns a cache whose ForwardBatch/BackwardBatch run the
+// blocked GEMM kernels instead of the row-at-a-time loops. Opt-in: the
+// kernels reorder floating-point summation, so batched results match the
+// per-sample path to rounding rather than bitwise.
+func (m *MLP) NewBatchCacheGEMM(capacity int) *BatchCache {
+	c := m.NewBatchCache(capacity)
+	c.gemm = true
+	c.wt = make([][]float64, len(m.layers))
+	for i, l := range m.layers {
+		c.wt[i] = make([]float64, l.In*l.Out)
+	}
+	c.dmat = make([][]float64, len(c.acts))
+	for i, a := range c.acts {
+		c.dmat[i] = make([]float64, len(a))
+	}
+	return c
+}
+
 // Capacity returns the maximum batch size the cache can hold.
 func (c *BatchCache) Capacity() int { return c.capacity }
+
+// GEMM reports whether the cache routes through the blocked GEMM kernels.
+func (c *BatchCache) GEMM() bool { return c.gemm }
 
 // ForwardBatch runs the network on n samples stored row-major in xs
 // (n×InputSize) and returns the output matrix (n×OutputSize), aliased into
@@ -54,6 +87,9 @@ func (m *MLP) ForwardBatch(c *BatchCache, xs []float64, n int) []float64 {
 	}
 	c.n = n
 	copy(c.acts[0][:n*in], xs[:n*in])
+	if c.gemm {
+		return m.forwardBatchGEMM(c, n)
+	}
 	for i, l := range m.layers {
 		xm := c.acts[i]
 		ym := c.acts[i+1]
@@ -81,6 +117,10 @@ func (m *MLP) BackwardBatch(c *BatchCache, dOut []float64) {
 	n := c.n
 	if len(dOut) < n*out {
 		panic(fmt.Sprintf("nn: BackwardBatch gradient has %d values, want %d", len(dOut), n*out))
+	}
+	if c.gemm {
+		m.backwardBatchGEMM(c, dOut)
+		return
 	}
 	last := len(m.layers) - 1
 	for r := 0; r < n; r++ {

@@ -1,0 +1,159 @@
+package nn
+
+import "advnet/internal/mathx"
+
+// Blocked matrix–matrix kernels for the BatchCache GEMM mode. The row-at-a-
+// time ForwardBatch/BackwardBatch repeat a latency-bound dot product per
+// output neuron per sample; the kernels here restructure the same arithmetic
+// as cache-blocked GEMMs whose inner loops run over contiguous output slices
+// with no loop-carried dependence, so the CPU can overlap the multiply-adds.
+// The price is a different floating-point summation order: results match the
+// per-sample path to ~1e-12 relative error, not bitwise (see
+// TestGEMMMatchesPerSample), which is why the mode is opt-in.
+
+// Block sizes for the GEMM kernels: rows of the batch per block and
+// reduction-dimension slice per block. Sized so one block's operands (a
+// gemmBlockR×gemmBlockK input tile plus a gemmBlockK-row stripe of the
+// transposed weights) stay resident in L1 across the inner loops even for
+// the widest layers in the repository.
+const (
+	gemmBlockR = 32
+	gemmBlockK = 128
+)
+
+// gemmAdd computes Y += X·M for row-major X (n×k), M (k×o) and Y (n×o),
+// blocked over rows and the reduction dimension, with the reduction unrolled
+// four-wide so the inner loop keeps four independent accumulation streams.
+func gemmAdd(x, m, y []float64, n, k, o int) {
+	for r0 := 0; r0 < n; r0 += gemmBlockR {
+		r1 := r0 + gemmBlockR
+		if r1 > n {
+			r1 = n
+		}
+		for k0 := 0; k0 < k; k0 += gemmBlockK {
+			k1 := k0 + gemmBlockK
+			if k1 > k {
+				k1 = k
+			}
+			for r := r0; r < r1; r++ {
+				xrow := x[r*k : (r+1)*k]
+				yrow := y[r*o : (r+1)*o]
+				i := k0
+				for ; i+4 <= k1; i += 4 {
+					a0, a1, a2, a3 := xrow[i], xrow[i+1], xrow[i+2], xrow[i+3]
+					m0 := m[i*o : (i+1)*o]
+					m1 := m[(i+1)*o : (i+2)*o]
+					m2 := m[(i+2)*o : (i+3)*o]
+					m3 := m[(i+3)*o : (i+4)*o]
+					for j := range yrow {
+						yrow[j] += a0*m0[j] + a1*m1[j] + a2*m2[j] + a3*m3[j]
+					}
+				}
+				for ; i < k1; i++ {
+					a := xrow[i]
+					mi := m[i*o : (i+1)*o]
+					for j := range yrow {
+						yrow[j] += a * mi[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// transposeInto writes the Out×In row-major matrix w as an In×Out row-major
+// matrix into wt.
+func transposeInto(w, wt []float64, out, in int) {
+	for o := 0; o < out; o++ {
+		row := w[o*in : (o+1)*in]
+		for i, v := range row {
+			wt[i*out+o] = v
+		}
+	}
+}
+
+// forwardBatchGEMM is the matrix-matrix form of ForwardBatch's layer loop:
+// for each layer it materializes Wᵀ into the cache's scratch (weights change
+// between minibatches, so the transpose is refreshed per pass — O(In·Out)
+// against the O(n·In·Out) multiply it unlocks) and computes Y = X·Wᵀ + B in
+// one blocked kernel, then applies the hidden activation in place.
+func (m *MLP) forwardBatchGEMM(c *BatchCache, n int) []float64 {
+	for li, l := range m.layers {
+		transposeInto(l.W, c.wt[li], l.Out, l.In)
+		ym := c.acts[li+1]
+		for r := 0; r < n; r++ {
+			copy(ym[r*l.Out:(r+1)*l.Out], l.B)
+		}
+		gemmAdd(c.acts[li], c.wt[li], ym, n, l.In, l.Out)
+		if li < len(m.layers)-1 {
+			for j, v := range ym[:n*l.Out] {
+				ym[j] = m.hidden.apply(v)
+			}
+		}
+	}
+	return c.acts[len(m.layers)][:n*m.OutputSize()]
+}
+
+// accumGradGEMM folds one layer's batch into its parameter gradients:
+// gradW += dYᵀ·X and gradB += column sums of dY, with the batch dimension
+// blocked four rows at a time so every gradW row is updated by four samples
+// per sweep instead of being re-streamed once per sample.
+func accumGradGEMM(l *Dense, x, dy []float64, n int) {
+	in, out := l.In, l.Out
+	r := 0
+	for ; r+4 <= n; r += 4 {
+		d0 := dy[r*out : (r+1)*out]
+		d1 := dy[(r+1)*out : (r+2)*out]
+		d2 := dy[(r+2)*out : (r+3)*out]
+		d3 := dy[(r+3)*out : (r+4)*out]
+		x0 := x[r*in : (r+1)*in]
+		x1 := x[(r+1)*in : (r+2)*in]
+		x2 := x[(r+2)*in : (r+3)*in]
+		x3 := x[(r+3)*in : (r+4)*in]
+		for o := 0; o < out; o++ {
+			g0, g1, g2, g3 := d0[o], d1[o], d2[o], d3[o]
+			l.gradB[o] += g0 + g1 + g2 + g3
+			gw := l.gradW[o*in : (o+1)*in]
+			for i := range gw {
+				gw[i] += g0*x0[i] + g1*x1[i] + g2*x2[i] + g3*x3[i]
+			}
+		}
+	}
+	for ; r < n; r++ {
+		drow := dy[r*out : (r+1)*out]
+		xrow := x[r*in : (r+1)*in]
+		for o := 0; o < out; o++ {
+			g := drow[o]
+			l.gradB[o] += g
+			mathx.AXPY(g, xrow, l.gradW[o*in:(o+1)*in])
+		}
+	}
+}
+
+// backwardBatchGEMM is the matrix-matrix form of BackwardBatch: per layer it
+// applies the activation derivative across the whole batch, accumulates the
+// parameter gradients via dYᵀ·X blocks, and propagates dX = dY·W with the
+// same blocked kernel as the forward pass (W is already the k×o operand for
+// this product, so no transpose is needed). The input gradient of layer 0 is
+// never read by any caller and is skipped.
+func (m *MLP) backwardBatchGEMM(c *BatchCache, dOut []float64) {
+	n := c.n
+	out := m.OutputSize()
+	last := len(m.layers) - 1
+	copy(c.dmat[last+1][:n*out], dOut[:n*out])
+	for li := last; li >= 0; li-- {
+		l := m.layers[li]
+		dy := c.dmat[li+1]
+		if li < last {
+			for j, v := range c.acts[li+1][:n*l.Out] {
+				dy[j] *= m.hidden.derivFromOutput(v)
+			}
+		}
+		accumGradGEMM(l, c.acts[li], dy, n)
+		if li > 0 {
+			dx := c.dmat[li][:n*l.In]
+			mathx.Fill(dx, 0)
+			gemmAdd(dy, l.W, dx, n, l.Out, l.In)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"advnet/internal/fsx"
 	"advnet/internal/mathx"
 )
 
@@ -70,13 +71,15 @@ func (m *MLP) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Save writes the network to path as JSON.
+// Save writes the network to path as JSON. The write is atomic: an existing
+// checkpoint at path is never left truncated or half-written, even if the
+// process dies mid-save.
 func (m *MLP) Save(path string) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsx.WriteFileAtomic(path, data, 0o644)
 }
 
 // Load reads a network previously written by Save.

@@ -25,6 +25,15 @@ type A2C struct {
 	buf    rolloutBuffer
 	iter   int
 	col    collector
+
+	// Batched-update scratch (cfg.GEMM with a BatchPolicy), sized lazily.
+	uobs    []float64
+	uact    []float64
+	ulogp   []float64
+	uent    []float64
+	uwLogp  []float64
+	uvdOut  []float64
+	vbcache *nn.BatchCache
 }
 
 // A2CConfig holds the trainer hyperparameters.
@@ -36,6 +45,12 @@ type A2CConfig struct {
 	ValueCoef    float64
 	LR           float64
 	MaxGradNorm  float64
+	// GEMM runs the update as one fused batched pass through the blocked
+	// matrix–matrix kernels (nn.NewBatchCacheGEMM) when the policy
+	// supports BatchPolicy. Off by default: the historical per-sample
+	// update stays bit-for-bit reproducible; the GEMM path matches it to
+	// rounding only.
+	GEMM bool
 }
 
 // DefaultA2CConfig returns standard A2C settings.
@@ -72,6 +87,11 @@ func NewA2C(policy Policy, value *nn.MLP, cfg A2CConfig, rng *mathx.RNG) (*A2C, 
 		valOpt: nn.NewAdam(cfg.LR),
 		rng:    rng,
 	}
+	if cfg.GEMM {
+		if g, ok := policy.(interface{ SetBatchGEMM(bool) }); ok {
+			g.SetBatchGEMM(true)
+		}
+	}
 	a.col = newCollector(policy, value, rng, &a.buf)
 	return a, nil
 }
@@ -92,17 +112,22 @@ func (a *A2C) TrainIteration(env Env) IterStats {
 	a.Policy.ZeroGrad()
 	a.Value.ZeroGrad()
 	var sumEntropy, sumValueLoss, sumPolicyLoss float64
-	for i := range a.buf.steps {
-		s := &a.buf.steps[i]
-		logp, ent := a.Policy.Backward(s.obs, s.action, -s.advantage, -a.cfg.EntropyCoef)
-		sumPolicyLoss += -logp * s.advantage
-		sumEntropy += ent
+	bp, batched := a.Policy.(BatchPolicy)
+	if a.cfg.GEMM && batched && a.buf.len() > 0 {
+		sumPolicyLoss, sumValueLoss, sumEntropy = a.updateBatched(bp)
+	} else {
+		for i := range a.buf.steps {
+			s := &a.buf.steps[i]
+			logp, ent := a.Policy.Backward(s.obs, s.action, -s.advantage, -a.cfg.EntropyCoef)
+			sumPolicyLoss += -logp * s.advantage
+			sumEntropy += ent
 
-		v, cache := a.Value.Forward(s.obs)
-		diff := v[0] - s.ret
-		a.Value.Backward(cache, []float64{a.cfg.ValueCoef * diff})
-		// Report the optimized quantity: ValueCoef scales the stat too.
-		sumValueLoss += a.cfg.ValueCoef * 0.5 * diff * diff
+			v, cache := a.Value.Forward(s.obs)
+			diff := v[0] - s.ret
+			a.Value.Backward(cache, []float64{a.cfg.ValueCoef * diff})
+			// Report the optimized quantity: ValueCoef scales the stat too.
+			sumValueLoss += a.cfg.ValueCoef * 0.5 * diff * diff
+		}
 	}
 	n := float64(a.buf.len())
 	a.Policy.ScaleGrads(1 / n)
@@ -120,6 +145,50 @@ func (a *A2C) TrainIteration(env Env) IterStats {
 
 	a.buf.reset()
 	return stats
+}
+
+// updateBatched is the cfg.GEMM update: it gathers the whole rollout into
+// row-major matrices and runs one fused BatchEval/BatchGrad pass through the
+// policy and one batched forward/backward through the value net — the same
+// loss as the per-sample loop, computed by the blocked GEMM kernels. It
+// returns the summed policy loss, value loss, and entropy for the stats.
+func (a *A2C) updateBatched(bp BatchPolicy) (sumPolicyLoss, sumValueLoss, sumEntropy float64) {
+	n := a.buf.len()
+	obsDim := len(a.buf.steps[0].obs)
+	actDim := len(a.buf.steps[0].action)
+	if len(a.ulogp) < n || len(a.uobs) < n*obsDim || len(a.uact) < n*actDim {
+		a.uobs = make([]float64, n*obsDim)
+		a.uact = make([]float64, n*actDim)
+		a.ulogp = make([]float64, n)
+		a.uent = make([]float64, n)
+		a.uwLogp = make([]float64, n)
+		a.uvdOut = make([]float64, n)
+	}
+	if a.vbcache == nil || a.vbcache.Capacity() < n {
+		a.vbcache = a.Value.NewBatchCacheGEMM(n)
+	}
+	for i := range a.buf.steps {
+		s := &a.buf.steps[i]
+		copy(a.uobs[i*obsDim:(i+1)*obsDim], s.obs)
+		copy(a.uact[i*actDim:(i+1)*actDim], s.action)
+	}
+	bp.BatchEval(a.uobs, a.uact, n, a.ulogp, a.uent)
+	for i := range a.buf.steps {
+		adv := a.buf.steps[i].advantage
+		a.uwLogp[i] = -adv
+		sumPolicyLoss += -a.ulogp[i] * adv
+		sumEntropy += a.uent[i]
+	}
+	bp.BatchGrad(a.uwLogp[:n], -a.cfg.EntropyCoef)
+
+	vs := a.Value.ForwardBatch(a.vbcache, a.uobs, n)
+	for i := range a.buf.steps {
+		diff := vs[i] - a.buf.steps[i].ret
+		a.uvdOut[i] = a.cfg.ValueCoef * diff
+		sumValueLoss += a.cfg.ValueCoef * 0.5 * diff * diff
+	}
+	a.Value.BackwardBatch(a.vbcache, a.uvdOut[:n])
+	return sumPolicyLoss, sumValueLoss, sumEntropy
 }
 
 // Train runs the given number of iterations.

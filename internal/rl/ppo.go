@@ -22,6 +22,12 @@ type PPOConfig struct {
 	ValueCoef     float64 // value-loss weight
 	LR            float64 // Adam learning rate (constant)
 	MaxGradNorm   float64 // global gradient-norm clip
+	// GEMM routes the fused minibatch update (policy batch caches and the
+	// value network's batched passes) through the blocked matrix–matrix
+	// kernels of nn.NewBatchCacheGEMM. Off by default: the GEMM kernels
+	// reorder floating-point summation, so they are equivalent to the
+	// historical path only to rounding (~1e-12 relative), not bitwise.
+	GEMM bool
 }
 
 // DefaultPPOConfig returns the stable-baselines-like defaults.
@@ -62,13 +68,13 @@ func (c PPOConfig) validate() error {
 
 // IterStats summarizes one PPO training iteration.
 type IterStats struct {
-	Iteration     int
-	Steps         int     // env steps in the rollout
-	Episodes      int     // episodes completed during the rollout
-	MeanEpReward  float64 // mean total reward of completed episodes
-	MeanStepRew   float64 // mean per-step reward across the rollout
-	PolicyLoss    float64
-	ValueLoss     float64 // optimized value objective c_V·0.5·(V−ret)², incl. ValueCoef
+	Iteration    int
+	Steps        int     // env steps in the rollout
+	Episodes     int     // episodes completed during the rollout
+	MeanEpReward float64 // mean total reward of completed episodes
+	MeanStepRew  float64 // mean per-step reward across the rollout
+	PolicyLoss   float64
+	ValueLoss    float64 // optimized value objective c_V·0.5·(V−ret)², incl. ValueCoef
 
 	Entropy       float64
 	ClipFraction  float64 // fraction of samples where the ratio was clipped
@@ -116,6 +122,11 @@ func NewPPO(policy Policy, value *nn.MLP, cfg PPOConfig, rng *mathx.RNG) (*PPO, 
 		polOpt: nn.NewAdam(cfg.LR),
 		valOpt: nn.NewAdam(cfg.LR),
 		rng:    rng,
+	}
+	if cfg.GEMM {
+		if g, ok := policy.(interface{ SetBatchGEMM(bool) }); ok {
+			g.SetBatchGEMM(true)
+		}
 	}
 	p.col = newCollector(policy, value, rng, &p.buf)
 	return p, nil
@@ -182,7 +193,11 @@ func (p *PPO) ensureUpdateScratch(m, obsDim, actDim int) {
 	p.uwLogp = make([]float64, m)
 	p.uvdOut = make([]float64, m)
 	if p.vbcache == nil || p.vbcache.Capacity() < m {
-		p.vbcache = p.Value.NewBatchCache(m)
+		if p.cfg.GEMM {
+			p.vbcache = p.Value.NewBatchCacheGEMM(m)
+		} else {
+			p.vbcache = p.Value.NewBatchCache(m)
+		}
 	}
 }
 
@@ -214,9 +229,11 @@ func (p *PPO) update(stats *IterStats) {
 				// Fused path: one shared forward pass per sample
 				// (instead of LogProb + Backward each running
 				// their own), batched through preallocated
-				// row-major caches. Per-sample arithmetic and
-				// gradient accumulation order are unchanged, so
-				// results are bit-identical to the fallback.
+				// row-major caches. With cfg.GEMM off, per-sample
+				// arithmetic and gradient accumulation order are
+				// unchanged, so results are bit-identical to the
+				// fallback; with it on, the blocked kernels match
+				// the fallback to rounding only.
 				m := len(batch)
 				obsDim := len(p.buf.steps[0].obs)
 				actDim := len(p.buf.steps[0].action)
@@ -334,4 +351,3 @@ func (p *PPO) update(stats *IterStats) {
 		stats.ApproxKL = sumKL / float64(samples)
 	}
 }
-

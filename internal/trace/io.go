@@ -7,15 +7,18 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"advnet/internal/fsx"
 )
 
-// SaveJSON writes the dataset to path as indented JSON.
+// SaveJSON writes the dataset to path as indented JSON. The write is atomic:
+// an existing dataset at path is never left half-written.
 func (d *Dataset) SaveJSON(path string) error {
 	data, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsx.WriteFileAtomic(path, data, 0o644)
 }
 
 // LoadJSON reads a dataset previously written by SaveJSON and validates it.
@@ -34,11 +37,14 @@ func LoadJSON(path string) (*Dataset, error) {
 	return &d, nil
 }
 
+// csvHeader is the column layout WriteCSV emits and ReadCSV requires.
+var csvHeader = []string{"duration_s", "bandwidth_mbps", "latency_ms", "loss_rate"}
+
 // WriteCSV writes the trace as CSV rows (duration, bandwidth, latency, loss)
 // with a header.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"duration_s", "bandwidth_mbps", "latency_ms", "loss_rate"}); err != nil {
+	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
 	for _, p := range t.Points {
@@ -56,12 +62,21 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace previously written by WriteCSV.
+// ReadCSV parses a trace previously written by WriteCSV. The first record
+// must be the exact WriteCSV header: silently skipping it would swallow the
+// first data row of headerless files and hide column reorderings, which
+// permute bandwidth/latency/loss into each other's fields.
 func ReadCSV(r io.Reader, name string) (*Trace, error) {
 	cr := csv.NewReader(r)
 	records, err := cr.ReadAll()
 	if err != nil {
 		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: CSV is empty")
+	}
+	if got := records[0]; !equalHeader(got, csvHeader) {
+		return nil, fmt.Errorf("trace: CSV header is %v, want %v", got, csvHeader)
 	}
 	if len(records) < 2 {
 		return nil, fmt.Errorf("trace: CSV has no data rows")
@@ -90,4 +105,16 @@ func ReadCSV(r io.Reader, name string) (*Trace, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+func equalHeader(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
 }

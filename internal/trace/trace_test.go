@@ -5,6 +5,7 @@ import (
 	"math"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -291,6 +292,31 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 	bad := "duration_s,bandwidth_mbps,latency_ms,loss_rate\n1,abc,0,0\n"
 	if _, err := ReadCSV(bytes.NewBufferString(bad), "x"); err == nil {
 		t.Fatal("accepted CSV with non-numeric field")
+	}
+}
+
+func TestReadCSVRejectsMissingHeader(t *testing.T) {
+	// A headerless file's first data row must not be silently consumed as
+	// a header.
+	headerless := "1,2.5,40,0\n1,3.0,40,0\n"
+	_, err := ReadCSV(bytes.NewBufferString(headerless), "x")
+	if err == nil {
+		t.Fatal("accepted headerless CSV")
+	}
+	if !strings.Contains(err.Error(), "header") {
+		t.Fatalf("error %q does not mention the header", err)
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(""), "x"); err == nil {
+		t.Fatal("accepted empty CSV")
+	}
+}
+
+func TestReadCSVRejectsReorderedColumns(t *testing.T) {
+	// Reordered columns would permute bandwidth/latency/loss into each
+	// other's fields; the parser must refuse rather than misread.
+	reordered := "bandwidth_mbps,duration_s,latency_ms,loss_rate\n2.5,1,40,0\n"
+	if _, err := ReadCSV(bytes.NewBufferString(reordered), "x"); err == nil {
+		t.Fatal("accepted CSV with reordered columns")
 	}
 }
 
