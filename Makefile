@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench verify
+.PHONY: all build test vet race bench faults verify
 
 all: verify
 
@@ -26,6 +26,13 @@ race:
 # Results are recorded in EXPERIMENTS.md.
 bench:
 	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkForwardBatch|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR' -benchmem .
+
+# Crash-safety and fault-injection suite (DESIGN.md §8.2) under the race
+# detector: bitwise checkpoint resume (rl trainers, abr env state, the
+# robust pipeline), worker-panic containment, the divergence watchdog, and
+# the atomic-write crash simulation.
+faults:
+	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/
 
 # Tier-1 verification: build + tests, plus vet and the race detector.
 verify: build vet test race

@@ -360,7 +360,11 @@ func BenchmarkPPOTrainIteration(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				step = func() { v.TrainIteration() }
+				step = func() {
+					if _, err := v.TrainIteration(); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()

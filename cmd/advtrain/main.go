@@ -31,7 +31,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "training seed")
 	workers := flag.Int("workers", 1, "parallel rollout workers (1 = historical single-threaded path)")
 	gemm := flag.Bool("gemm", false, "blocked GEMM minibatch updates (faster; matches the default path to rounding, not bitwise)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic crash-safe training checkpoints (empty = disabled)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "save a checkpoint every N training iterations")
+	resume := flag.Bool("resume", false, "continue from the checkpoints in -checkpoint-dir (required when it is not empty)")
 	flag.Parse()
+
+	ckpt, err := core.ResolveCheckpoint(*ckptDir, *ckptEvery, *resume)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	rng := mathx.NewRNG(*seed)
 	switch *domain {
@@ -56,6 +64,7 @@ func main() {
 		}
 		opt.Workers = *workers
 		opt.GEMM = *gemm
+		opt.Checkpoint = ckpt
 		log.Printf("training ABR adversary against %s for %d iterations (%d workers)...", proto.Name(), opt.Iterations, *workers)
 		adv, stats, err := core.TrainABRAdversary(video, proto, core.DefaultABRAdversaryConfig(), opt, rng)
 		if err != nil {
@@ -98,6 +107,7 @@ func main() {
 		}
 		opt.Workers = *workers
 		opt.GEMM = *gemm
+		opt.Checkpoint = ckpt
 		log.Printf("training CC adversary against %s for %d iterations (%d workers)...", *target, opt.Iterations, *workers)
 		adv, stats, err := core.TrainCCAdversary(newCC, core.DefaultCCAdversaryConfig(), opt, rng)
 		if err != nil {

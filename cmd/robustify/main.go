@@ -32,10 +32,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "training seed")
 	workers := flag.Int("workers", 1, "parallel rollout workers for both the protocol and the adversary (1 = single-threaded)")
 	gemm := flag.Bool("gemm", false, "blocked GEMM minibatch updates for both PPO runs (faster; matches the default path to rounding, not bitwise)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic crash-safe training checkpoints (empty = disabled)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "save a checkpoint every N protocol-training iterations")
+	resume := flag.Bool("resume", false, "continue from the checkpoints in -checkpoint-dir (required when it is not empty)")
 	flag.Parse()
 
+	ckpt, err := core.ResolveCheckpoint(*ckptDir, *ckptEvery, *resume)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var ds *trace.Dataset
-	var err error
 	rng := mathx.NewRNG(*seed)
 	switch {
 	case *tracesPath != "":
@@ -59,6 +66,7 @@ func main() {
 	cfg.AdvOpt = core.ABRTrainOptions{Iterations: *advIters, RolloutSteps: 1536, LR: 1e-3, Workers: *workers, GEMM: *gemm}
 	cfg.Workers = *workers
 	cfg.GEMM = *gemm
+	cfg.Checkpoint = ckpt
 
 	log.Printf("training on %q (%d traces), injecting at %.0f%%, %d workers...", ds.Name, len(ds.Traces), 100**inject, *workers)
 	res, err := core.TrainRobustPensieve(video, ds, cfg, rng.Split())

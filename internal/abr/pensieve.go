@@ -1,6 +1,9 @@
 package abr
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"advnet/internal/mathx"
 	"advnet/internal/nn"
 	"advnet/internal/rl"
@@ -112,8 +115,9 @@ type TrainEnv struct {
 	Cfg        SessionConfig
 	RTTSeconds float64
 
-	rng     *mathx.RNG
-	session *Session
+	rng      *mathx.RNG
+	session  *Session
+	traceIdx int // dataset index of the current session's trace; -1 when none
 }
 
 // NewTrainEnv builds a training environment that samples traces uniformly
@@ -122,15 +126,63 @@ func NewTrainEnv(video *Video, dataset *trace.Dataset, cfg SessionConfig, rttS f
 	if len(dataset.Traces) == 0 {
 		panic("abr: TrainEnv with empty dataset")
 	}
-	return &TrainEnv{Video: video, Dataset: dataset, Cfg: cfg, RTTSeconds: rttS, rng: rng}
+	return &TrainEnv{Video: video, Dataset: dataset, Cfg: cfg, RTTSeconds: rttS, rng: rng, traceIdx: -1}
 }
 
 // Reset implements rl.Env.
 func (e *TrainEnv) Reset() []float64 {
-	tr := e.Dataset.Traces[e.rng.Intn(len(e.Dataset.Traces))]
-	link := &TraceLink{Trace: tr, RTTSeconds: e.RTTSeconds}
+	e.traceIdx = e.rng.Intn(len(e.Dataset.Traces))
+	link := &TraceLink{Trace: e.Dataset.Traces[e.traceIdx], RTTSeconds: e.RTTSeconds}
 	e.session = NewSession(e.Video, link, e.Cfg)
 	return Features(e.session.Observation())
+}
+
+// trainEnvState is the serialized form of a TrainEnv for checkpointing: the
+// trace-sampling RNG plus, when an episode is in flight, which trace it runs
+// on and the mid-stream session state.
+type trainEnvState struct {
+	RNG      mathx.RNGState `json:"rng"`
+	TraceIdx int            `json:"trace_idx"`
+	Session  *SessionState  `json:"session,omitempty"`
+}
+
+// EnvState implements rl.EnvCheckpointer: it serializes the trace-sampling
+// RNG and any in-flight session so a resumed trainer replays bit-for-bit.
+func (e *TrainEnv) EnvState() ([]byte, error) {
+	st := trainEnvState{RNG: e.rng.State(), TraceIdx: -1}
+	if e.session != nil && !e.session.Done() {
+		ss := e.session.State()
+		st.TraceIdx = e.traceIdx
+		st.Session = &ss
+	}
+	return json.Marshal(st)
+}
+
+// SetEnvState implements rl.EnvCheckpointer. The env must be built over the
+// same video and dataset the state was captured against; the trace index is
+// validated against the dataset and the session state against the video.
+func (e *TrainEnv) SetEnvState(data []byte) error {
+	var st trainEnvState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("abr: decode env state: %w", err)
+	}
+	if st.Session != nil {
+		if st.TraceIdx < 0 || st.TraceIdx >= len(e.Dataset.Traces) {
+			return fmt.Errorf("abr: restored trace index %d out of range [0,%d)", st.TraceIdx, len(e.Dataset.Traces))
+		}
+		link := &TraceLink{Trace: e.Dataset.Traces[st.TraceIdx], RTTSeconds: e.RTTSeconds}
+		s, err := RestoreSession(e.Video, link, e.Cfg, *st.Session)
+		if err != nil {
+			return err
+		}
+		e.session = s
+		e.traceIdx = st.TraceIdx
+	} else {
+		e.session = nil
+		e.traceIdx = -1
+	}
+	e.rng.SetState(st.RNG)
+	return nil
 }
 
 // Step implements rl.Env.

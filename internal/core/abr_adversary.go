@@ -286,6 +286,13 @@ type ABRTrainOptions struct {
 	// rollouts; results match the default path to rounding rather than
 	// bitwise.
 	GEMM bool
+	// Checkpoint enables crash-safe adversary training: periodic atomic
+	// trainer checkpoints under Checkpoint.Dir with automatic resume (see
+	// rl.CheckpointConfig). ABREnv does not checkpoint its own state, so a
+	// resumed run abandons any half-collected episode — valid training,
+	// though not bit-for-bit an uninterrupted run. Incompatible with
+	// Restarts > 1 (one directory cannot hold several independent runs).
+	Checkpoint rl.CheckpointConfig
 }
 
 // DefaultABRTrainOptions returns settings sized for the repository's
@@ -301,6 +308,9 @@ func DefaultABRTrainOptions() ABRTrainOptions {
 // by mean episode reward over the final quarter of training).
 func TrainABRAdversary(video *abr.Video, target abr.Protocol, cfg ABRAdversaryConfig, opt ABRTrainOptions, rng *mathx.RNG) (*ABRAdversary, []rl.IterStats, error) {
 	restarts := opt.Restarts
+	if restarts > 1 && opt.Checkpoint.Dir != "" {
+		return nil, nil, fmt.Errorf("core: Restarts=%d is incompatible with checkpointing (one directory cannot hold several independent runs)", restarts)
+	}
 	if restarts <= 1 {
 		return trainABRAdversaryOnce(video, target, cfg, opt, rng)
 	}
@@ -356,14 +366,21 @@ func trainABRAdversaryOnce(video *abr.Video, target abr.Protocol, cfg ABRAdversa
 		if err != nil {
 			return nil, nil, err
 		}
-		stats, err := ppo.TrainParallel(factory, opt.Workers, opt.Iterations)
+		v, err := rl.NewVecRunner(ppo, factory, opt.Workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats, err := v.TrainCheckpointed(opt.Iterations, opt.Checkpoint)
 		if err != nil {
 			return nil, nil, err
 		}
 		return adv, stats, nil
 	}
 	env := NewABREnv(video, target, cfg)
-	stats := ppo.Train(env, opt.Iterations)
+	stats, err := ppo.TrainCheckpointed(env, opt.Iterations, opt.Checkpoint)
+	if err != nil {
+		return nil, nil, err
+	}
 	return adv, stats, nil
 }
 

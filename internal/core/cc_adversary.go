@@ -260,6 +260,12 @@ type CCTrainOptions struct {
 	// rollouts; results match the default path to rounding rather than
 	// bitwise.
 	GEMM bool
+	// Checkpoint enables crash-safe adversary training: periodic atomic
+	// trainer checkpoints under Checkpoint.Dir with automatic resume (see
+	// rl.CheckpointConfig). CCEnv does not checkpoint its emulator state,
+	// so a resumed run abandons any half-collected episode — valid
+	// training, though not bit-for-bit an uninterrupted run.
+	Checkpoint rl.CheckpointConfig
 }
 
 // DefaultCCTrainOptions returns settings sized for the repository's
@@ -293,14 +299,21 @@ func TrainCCAdversary(newCC func() netem.CongestionController, cfg CCAdversaryCo
 	}
 	if opt.Workers > 1 {
 		factory := CCEnvFactory(newCC, cfg, rng, opt.Workers)
-		stats, err := ppo.TrainParallel(factory, opt.Workers, opt.Iterations)
+		v, err := rl.NewVecRunner(ppo, factory, opt.Workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats, err := v.TrainCheckpointed(opt.Iterations, opt.Checkpoint)
 		if err != nil {
 			return nil, nil, err
 		}
 		return adv, stats, nil
 	}
 	env := NewCCEnv(newCC, cfg, rng.Split())
-	stats := ppo.Train(env, opt.Iterations)
+	stats, err := ppo.TrainCheckpointed(env, opt.Iterations, opt.Checkpoint)
+	if err != nil {
+		return nil, nil, err
+	}
 	return adv, stats, nil
 }
 

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"advnet/internal/mathx"
+)
+
+// fuzzSnapshotBytes serializes a freshly built adversary of either kind so
+// the fuzzers start from structurally valid corpora.
+func fuzzSnapshotBytes(f *testing.F, save func(path string) error) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "seed.json")
+	if err := save(path); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzLoadABRAdversary checks the loader's contract on arbitrary bytes:
+// error or a fully-built adversary, never a panic.
+func FuzzLoadABRAdversary(f *testing.F) {
+	adv := NewABRAdversary(mathx.NewRNG(1), 6, DefaultABRAdversaryConfig())
+	f.Add(fuzzSnapshotBytes(f, adv.Save))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"kind":"abr"}`))
+	f.Add([]byte(`{"kind":"abr","abr_cfg":{},"net":{"sizes":[1,1],"hidden":"tanh","w":[[1]],"b":[[0]]},"log_std":[0,0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "adv.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadABRAdversary(path)
+		if err == nil && (loaded == nil || loaded.Policy == nil) {
+			t.Fatal("loader returned success without a usable adversary")
+		}
+	})
+}
+
+// FuzzLoadCCAdversary is the congestion-control counterpart of
+// FuzzLoadABRAdversary.
+func FuzzLoadCCAdversary(f *testing.F) {
+	adv := NewCCAdversary(mathx.NewRNG(2), DefaultCCAdversaryConfig())
+	f.Add(fuzzSnapshotBytes(f, adv.Save))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"cc"}`))
+	f.Add([]byte(`{"kind":"cc","cc_cfg":{"MaxLogStd":1},"net":{"sizes":[2,1],"hidden":"tanh","w":[[1,1]],"b":[[0]]},"log_std":[0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "adv.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadCCAdversary(path)
+		if err == nil && (loaded == nil || loaded.Policy == nil) {
+			t.Fatal("loader returned success without a usable adversary")
+		}
+	})
+}

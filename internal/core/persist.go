@@ -2,7 +2,10 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
+	"math"
 	"os"
 
 	"advnet/internal/fsx"
@@ -12,13 +15,48 @@ import (
 )
 
 // adversarySnapshot is the on-disk form of a trained adversary (either
-// kind): configuration, mean network, and exploration scale.
+// kind): configuration, mean network, exploration scale, and the policy's
+// log-std bounds. The bounds are pointers so that presence is explicit: nil
+// means unbounded (±Inf, which JSON cannot represent), while an explicit 0
+// — a perfectly valid cap — survives the round trip instead of being
+// mistaken for "unset".
 type adversarySnapshot struct {
-	Kind   string              `json:"kind"` // "abr" or "cc"
-	ABRCfg *ABRAdversaryConfig `json:"abr_cfg,omitempty"`
-	CCCfg  *CCAdversaryConfig  `json:"cc_cfg,omitempty"`
-	Net    json.RawMessage     `json:"net"`
-	LogStd []float64           `json:"log_std"`
+	Kind      string              `json:"kind"` // "abr" or "cc"
+	ABRCfg    *ABRAdversaryConfig `json:"abr_cfg,omitempty"`
+	CCCfg     *CCAdversaryConfig  `json:"cc_cfg,omitempty"`
+	Net       json.RawMessage     `json:"net"`
+	LogStd    []float64           `json:"log_std"`
+	MinLogStd *float64            `json:"min_log_std,omitempty"`
+	MaxLogStd *float64            `json:"max_log_std,omitempty"`
+}
+
+// finitePtr returns &v for finite v and nil for ±Inf/NaN, the snapshot
+// encoding of an absent bound.
+func finitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// gaussianFromSnapshot rebuilds the adversary policy common to both loaders,
+// validating the exploration vector against the network's output dimension
+// (a mismatched file would otherwise silently truncate or zero-fill the
+// exploration scale).
+func gaussianFromSnapshot(snap *adversarySnapshot, net *nn.MLP) (*rl.GaussianPolicy, error) {
+	if len(snap.LogStd) != net.OutputSize() {
+		return nil, fmt.Errorf("core: snapshot log_std has %d entries, want %d (network output size)",
+			len(snap.LogStd), net.OutputSize())
+	}
+	pol := rl.NewGaussianPolicy(net, 0)
+	copy(pol.LogStd(), snap.LogStd)
+	if snap.MinLogStd != nil {
+		pol.MinLogStd = *snap.MinLogStd
+	}
+	if snap.MaxLogStd != nil {
+		pol.MaxLogStd = *snap.MaxLogStd
+	}
+	return pol, nil
 }
 
 // Save writes the adversary to path as JSON.
@@ -28,10 +66,12 @@ func (a *ABRAdversary) Save(path string) error {
 		return err
 	}
 	snap := adversarySnapshot{
-		Kind:   "abr",
-		ABRCfg: &a.Cfg,
-		Net:    netData,
-		LogStd: mathx.CopyOf(a.Policy.LogStd()),
+		Kind:      "abr",
+		ABRCfg:    &a.Cfg,
+		Net:       netData,
+		LogStd:    mathx.CopyOf(a.Policy.LogStd()),
+		MinLogStd: finitePtr(a.Policy.MinLogStd),
+		MaxLogStd: finitePtr(a.Policy.MaxLogStd),
 	}
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
@@ -50,8 +90,10 @@ func LoadABRAdversary(path string) (*ABRAdversary, error) {
 	if err := json.Unmarshal(snap.Net, net); err != nil {
 		return nil, err
 	}
-	pol := rl.NewGaussianPolicy(net, 0)
-	copy(pol.LogStd(), snap.LogStd)
+	pol, err := gaussianFromSnapshot(snap, net)
+	if err != nil {
+		return nil, err
+	}
 	return &ABRAdversary{Policy: pol, Cfg: *snap.ABRCfg}, nil
 }
 
@@ -62,10 +104,12 @@ func (a *CCAdversary) Save(path string) error {
 		return err
 	}
 	snap := adversarySnapshot{
-		Kind:   "cc",
-		CCCfg:  &a.Cfg,
-		Net:    netData,
-		LogStd: mathx.CopyOf(a.Policy.LogStd()),
+		Kind:      "cc",
+		CCCfg:     &a.Cfg,
+		Net:       netData,
+		LogStd:    mathx.CopyOf(a.Policy.LogStd()),
+		MinLogStd: finitePtr(a.Policy.MinLogStd),
+		MaxLogStd: finitePtr(a.Policy.MaxLogStd),
 	}
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
@@ -84,12 +128,34 @@ func LoadCCAdversary(path string) (*CCAdversary, error) {
 	if err := json.Unmarshal(snap.Net, net); err != nil {
 		return nil, err
 	}
-	pol := rl.NewGaussianPolicy(net, 0)
-	copy(pol.LogStd(), snap.LogStd)
-	if snap.CCCfg.MaxLogStd != 0 {
+	pol, err := gaussianFromSnapshot(snap, net)
+	if err != nil {
+		return nil, err
+	}
+	// Legacy snapshots (written before the bounds were serialized) carried
+	// the cap only in the config, where 0 doubled as "unset".
+	if snap.MaxLogStd == nil && snap.CCCfg.MaxLogStd != 0 {
 		pol.MaxLogStd = snap.CCCfg.MaxLogStd
 	}
 	return &CCAdversary{Policy: pol, Cfg: *snap.CCCfg}, nil
+}
+
+// ResolveCheckpoint builds the rl.CheckpointConfig for a command-line run.
+// dir == "" disables checkpointing. A non-empty existing directory is
+// refused unless resume is true, so a stale -checkpoint-dir cannot silently
+// graft a fresh run onto leftover state.
+func ResolveCheckpoint(dir string, every int, resume bool) (rl.CheckpointConfig, error) {
+	if dir == "" {
+		return rl.CheckpointConfig{}, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return rl.CheckpointConfig{}, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	if len(entries) > 0 && !resume {
+		return rl.CheckpointConfig{}, fmt.Errorf("core: checkpoint directory %s is not empty; pass -resume to continue from it or point -checkpoint-dir at a fresh directory", dir)
+	}
+	return rl.CheckpointConfig{Dir: dir, Every: every}, nil
 }
 
 func loadSnapshot(path, wantKind string) (*adversarySnapshot, error) {

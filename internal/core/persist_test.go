@@ -1,6 +1,9 @@
 package core
 
 import (
+	"encoding/json"
+	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -66,6 +69,110 @@ func TestCCAdversarySaveLoad(t *testing.T) {
 	}
 	if loaded.Policy.MaxLogStd != adv.Cfg.MaxLogStd {
 		t.Fatal("MaxLogStd not restored")
+	}
+}
+
+// rewriteSnapshot loads the JSON at path, applies edit to the raw object,
+// and writes it back.
+func rewriteSnapshot(t *testing.T, path string, edit func(map[string]json.RawMessage)) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(data, &obj); err != nil {
+		t.Fatal(err)
+	}
+	edit(obj)
+	out, err := json.Marshal(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadRejectsLogStdMismatch pins the loader validation: a log_std vector
+// whose length disagrees with the network's output dimension must be
+// rejected, not silently truncated or zero-filled.
+func TestLoadRejectsLogStdMismatch(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	adv := NewABRAdversary(rng, testVideo().Levels(), DefaultABRAdversaryConfig())
+	path := filepath.Join(t.TempDir(), "abr.json")
+	if err := adv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	for name, logStd := range map[string]string{
+		"too long":  `[0.1, 0.2]`,
+		"too short": `[]`,
+	} {
+		rewriteSnapshot(t, path, func(obj map[string]json.RawMessage) {
+			obj["log_std"] = json.RawMessage(logStd)
+		})
+		if _, err := LoadABRAdversary(path); err == nil {
+			t.Errorf("%s log_std accepted", name)
+		}
+	}
+}
+
+// TestLogStdBoundsRoundTrip pins the explicit-presence serialization of the
+// policy's log-std bounds: an explicit 0 cap must survive the round trip
+// (the legacy encoding conflated it with "unset"), and unbounded (±Inf)
+// must come back unbounded.
+func TestLogStdBoundsRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	adv := NewABRAdversary(rng, testVideo().Levels(), DefaultABRAdversaryConfig())
+	adv.Policy.MinLogStd = -5
+	adv.Policy.MaxLogStd = 0 // explicit zero — a real cap, not "unset"
+	path := filepath.Join(t.TempDir(), "abr.json")
+	if err := adv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadABRAdversary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Policy.MinLogStd != -5 || loaded.Policy.MaxLogStd != 0 {
+		t.Fatalf("bounds [%v, %v], want [-5, 0]", loaded.Policy.MinLogStd, loaded.Policy.MaxLogStd)
+	}
+
+	unbounded := NewABRAdversary(mathx.NewRNG(10), testVideo().Levels(), DefaultABRAdversaryConfig())
+	if err := unbounded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = LoadABRAdversary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(loaded.Policy.MinLogStd, -1) || !math.IsInf(loaded.Policy.MaxLogStd, 1) {
+		t.Fatalf("default bounds [%v, %v], want ±Inf", loaded.Policy.MinLogStd, loaded.Policy.MaxLogStd)
+	}
+}
+
+// TestLoadCCAdversaryLegacySnapshot checks that files written before the
+// bounds were serialized still restore the cap from the config field.
+func TestLoadCCAdversaryLegacySnapshot(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	adv := NewCCAdversary(rng, DefaultCCAdversaryConfig())
+	if adv.Cfg.MaxLogStd == 0 {
+		t.Skip("default CC config no longer caps log-std")
+	}
+	path := filepath.Join(t.TempDir(), "cc.json")
+	if err := adv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	rewriteSnapshot(t, path, func(obj map[string]json.RawMessage) {
+		delete(obj, "min_log_std")
+		delete(obj, "max_log_std")
+	})
+	loaded, err := LoadCCAdversary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Policy.MaxLogStd != adv.Cfg.MaxLogStd {
+		t.Fatalf("legacy MaxLogStd %v, want %v", loaded.Policy.MaxLogStd, adv.Cfg.MaxLogStd)
 	}
 }
 

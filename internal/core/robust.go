@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
+	"runtime/debug"
 	"sync"
 
 	"advnet/internal/abr"
+	"advnet/internal/faults"
 	"advnet/internal/mathx"
 	"advnet/internal/rl"
 	"advnet/internal/trace"
@@ -41,6 +44,15 @@ type RobustTrainConfig struct {
 	// step (2) opts in separately via AdvOpt.GEMM. Results match the
 	// default path to rounding rather than bitwise.
 	GEMM bool
+	// Checkpoint enables crash-safe training: the protocol phases save
+	// periodic atomic checkpoints under Checkpoint.Dir (in phase1/ and
+	// phase2/ subdirectories — the phases use different datasets, so their
+	// checkpoints must not be confused), the trained adversary and its
+	// generated traces are persisted alongside as adversary.json and
+	// adversarial-traces.json, and a re-run with identical arguments
+	// resumes from whatever the previous process completed. The zero value
+	// disables checkpointing (the divergence watchdog stays active).
+	Checkpoint rl.CheckpointConfig
 }
 
 // DefaultRobustTrainConfig returns a pipeline configuration sized for the
@@ -65,6 +77,10 @@ type RobustTrainResult struct {
 	AdversarialTraces *trace.Dataset
 	Phase1Iterations  int
 	Phase2Iterations  int
+	// Stats holds the per-iteration statistics of the protocol-training
+	// iterations this call executed (iterations completed by an earlier
+	// process and restored from a checkpoint are not re-reported).
+	Stats []rl.IterStats
 }
 
 // TrainRobustPensieve runs the §2.3 pipeline: it trains a Pensieve-style
@@ -97,52 +113,115 @@ func TrainRobustPensieve(video *abr.Video, dataset *trace.Dataset, cfg RobustTra
 		}
 	}
 
-	// trainPhase runs one protocol-training phase on the given dataset,
-	// parallelizing rollout collection when cfg.Workers > 1. Each worker
-	// replays traces with its own deterministic RNG stream.
-	trainPhase := func(ds *trace.Dataset, iterations int) error {
+	// Checkpoint layout: each phase trains on a different dataset, so each
+	// gets its own checkpoint subdirectory, and the phase-1 products the
+	// phase-2 setup depends on (adversary, generated traces) are persisted
+	// as artifacts next to them.
+	ck := cfg.Checkpoint
+	var ck1, ck2 rl.CheckpointConfig
+	var advPath, tracesPath string
+	if ck.Dir != "" {
+		ck1 = rl.CheckpointConfig{Dir: filepath.Join(ck.Dir, "phase1"), Every: ck.Every, Keep: ck.Keep}
+		ck2 = rl.CheckpointConfig{Dir: filepath.Join(ck.Dir, "phase2"), Every: ck.Every, Keep: ck.Keep}
+		advPath = filepath.Join(ck.Dir, "adversary.json")
+		tracesPath = filepath.Join(ck.Dir, "adversarial-traces.json")
+	}
+
+	// trainPhase runs one protocol-training phase on the given dataset until
+	// the trainer has completed `target` total iterations, parallelizing
+	// rollout collection when cfg.Workers > 1. Each worker replays traces
+	// with its own deterministic RNG stream; on resume, every stream split
+	// off here is overwritten by the state restored from the checkpoint.
+	trainPhase := func(ds *trace.Dataset, target int, pck rl.CheckpointConfig) ([]rl.IterStats, error) {
 		if cfg.Workers > 1 {
 			rngs := make([]*mathx.RNG, cfg.Workers)
 			for i := range rngs {
 				rngs[i] = rng.Split()
 			}
-			_, err := ppo.TrainParallel(func(worker int) rl.Env {
+			v, err := rl.NewVecRunner(ppo, func(worker int) rl.Env {
 				return abr.NewTrainEnv(video, ds, abr.DefaultSessionConfig(), cfg.RTTSeconds, rngs[worker])
-			}, cfg.Workers, iterations)
-			return err
+			}, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return v.TrainCheckpointed(target, pck)
 		}
 		env := abr.NewTrainEnv(video, ds, abr.DefaultSessionConfig(), cfg.RTTSeconds, rng.Split())
-		ppo.Train(env, iterations)
-		return nil
+		return ppo.TrainCheckpointed(env, target, pck)
 	}
+
+	// A phase-2 checkpoint supersedes everything phase 1 trained: loading it
+	// restores the full trainer (including the master RNG the trainer
+	// shares), so phase 1 is skipped outright.
+	resumePhase2 := false
+	if adversarial && ck.Dir != "" {
+		if _, _, err := (&rl.CheckpointDir{Dir: ck2.Dir}).Latest(); err == nil {
+			resumePhase2 = true
+		}
+	}
+
+	res := &RobustTrainResult{Phase1Iterations: phase1}
 
 	// Step 1: train the protocol of interest.
-	if err := trainPhase(dataset, phase1); err != nil {
-		return nil, err
+	if !resumePhase2 {
+		stats, err := trainPhase(dataset, phase1, ck1)
+		res.Stats = append(res.Stats, stats...)
+		if err != nil {
+			return nil, err
+		}
 	}
 	agent := abr.NewPensieve(policy)
-
-	res := &RobustTrainResult{Protocol: agent, Phase1Iterations: phase1}
+	res.Protocol = agent
 	if !adversarial {
 		return res, nil
 	}
 
-	// Step 2: train an adversary against the partially-trained protocol.
-	adv, _, err := TrainABRAdversary(video, agent, cfg.AdvCfg, cfg.AdvOpt, rng.Split())
-	if err != nil {
-		return nil, err
+	// Steps 2 and 3: obtain the adversary and its generated traces — from
+	// the artifacts a previous process persisted, or by training one against
+	// the (partially-trained) protocol and persisting the results.
+	var adv *ABRAdversary
+	var advTraces *trace.Dataset
+	if ck.Dir != "" {
+		if a, errA := LoadABRAdversary(advPath); errA == nil {
+			if d, errT := trace.LoadJSON(tracesPath); errT == nil {
+				adv, advTraces = a, d
+				// The uninterrupted run consumed two master-RNG splits here
+				// (adversary training, trace generation); discard them so
+				// every later draw stays stream-aligned.
+				rng.Split()
+				rng.Split()
+			}
+		}
+	}
+	if resumePhase2 && adv == nil {
+		return nil, fmt.Errorf("core: phase-2 checkpoints exist under %s but the adversary artifacts are missing or unreadable", ck.Dir)
+	}
+	if adv == nil {
+		var err error
+		adv, _, err = TrainABRAdversary(video, agent, cfg.AdvCfg, cfg.AdvOpt, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		advTraces = adv.GenerateTraces(video, agent, rng.Split(), cfg.AdversarialTraces, "adversarial")
+		if ck.Dir != "" {
+			if err := adv.Save(advPath); err != nil {
+				return nil, fmt.Errorf("core: persist adversary: %w", err)
+			}
+			if err := advTraces.SaveJSON(tracesPath); err != nil {
+				return nil, fmt.Errorf("core: persist adversarial traces: %w", err)
+			}
+		}
 	}
 	res.Adversary = adv
-
-	// Step 3: use the trained adversary to generate traces.
-	advTraces := adv.GenerateTraces(video, agent, rng.Split(), cfg.AdversarialTraces, "adversarial")
 	res.AdversarialTraces = advTraces
 
 	// Step 4: continue training with the adversarial traces in the
 	// training dataset.
 	merged := dataset.Merge(advTraces)
 	res.Phase2Iterations = cfg.TotalIterations - phase1
-	if err := trainPhase(merged, res.Phase2Iterations); err != nil {
+	stats, err := trainPhase(merged, cfg.TotalIterations, ck2)
+	res.Stats = append(res.Stats, stats...)
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -190,14 +269,28 @@ func evaluateABR(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, worke
 		workers = n
 	}
 	out := make([]float64, n)
-	shard := func(p abr.Protocol, w, stride int) {
+	// Each shard recovers its own panics (a corrupted trace or a protocol
+	// bug must not take the process down with it) and converts them into a
+	// *rl.WorkerPanicError naming the shard.
+	shard := func(p abr.Protocol, w, stride int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &rl.WorkerPanicError{Worker: w, Value: r, Stack: debug.Stack()}
+			}
+		}()
 		for i := w; i < n; i += stride {
+			if ferr := faults.Fire("core.eval.shard", w, i); ferr != nil {
+				return ferr
+			}
 			s := abr.RunSession(video, mkLink(dataset.Traces[i]), abr.DefaultSessionConfig(), p)
 			out[i] = s.MeanQoE()
 		}
+		return nil
 	}
 	if workers <= 1 {
-		shard(p, 0, 1)
+		if err := shard(p, 0, 1); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 	clones := make([]abr.Protocol, workers)
@@ -209,15 +302,21 @@ func evaluateABR(video *abr.Video, dataset *trace.Dataset, p abr.Protocol, worke
 		}
 		clones[w] = c
 	}
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 1; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			shard(clones[w], w, workers)
+			errs[w] = shard(clones[w], w, workers)
 		}(w)
 	}
-	shard(p, 0, workers)
+	errs[0] = shard(p, 0, workers)
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }

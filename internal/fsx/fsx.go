@@ -5,6 +5,8 @@ package fsx
 import (
 	"os"
 	"path/filepath"
+
+	"advnet/internal/faults"
 )
 
 // WriteFileAtomic writes data to path so that readers never observe a
@@ -42,6 +44,13 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	// CreateTemp makes the file 0600; apply the requested mode before it
 	// becomes visible under its final name.
 	if err := os.Chmod(tmp, perm); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Crash-simulation point: the window between a fully-written temp file
+	// and the rename that publishes it. A failure injected here must leave
+	// any previous contents of path untouched.
+	if err := faults.Fire("fsx.write_atomic.rename", path); err != nil {
 		os.Remove(tmp)
 		return err
 	}

@@ -1,9 +1,12 @@
 package fsx
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"advnet/internal/faults"
 )
 
 func TestWriteFileAtomicCreatesAndReplaces(t *testing.T) {
@@ -39,6 +42,45 @@ func TestWriteFileAtomicLeavesNoTempFiles(t *testing.T) {
 	}
 	if len(entries) != 1 || entries[0].Name() != "out.json" {
 		t.Fatalf("directory not clean: %v", entries)
+	}
+}
+
+// TestWriteFileAtomicCrashBeforeRename simulates a process dying in the
+// window between the fully-written temp file and the rename that publishes
+// it: the previous contents must survive untouched and no temp file may be
+// left behind.
+func TestWriteFileAtomicCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := WriteFileAtomic(path, []byte("old checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	errCrash := errors.New("injected crash before rename")
+	faults.Set("fsx.write_atomic.rename", faults.FailN(errCrash, nil))
+	err := WriteFileAtomic(path, []byte("new checkpoint"), 0o644)
+	faults.Clear("fsx.write_atomic.rename")
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+
+	if got, err := os.ReadFile(path); err != nil || string(got) != "old checkpoint" {
+		t.Fatalf("previous contents corrupted: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ckpt.json" {
+		t.Fatalf("orphaned files after simulated crash: %v", entries)
+	}
+
+	// The fault cleared, the same write must go through.
+	if err := WriteFileAtomic(path, []byte("new checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new checkpoint" {
+		t.Fatalf("retry wrote %q", got)
 	}
 }
 

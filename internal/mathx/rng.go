@@ -27,6 +27,30 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// RNGState is the complete serializable state of an RNG: the SplitMix64 word
+// plus the cached Box-Muller spare. Round-tripping through State/SetState
+// reproduces the generator's output stream exactly, including a pending
+// spare normal deviate — the property trainer checkpoints rely on for
+// bit-identical resume.
+type RNGState struct {
+	State    uint64  `json:"state"`
+	HasSpare bool    `json:"has_spare,omitempty"`
+	Spare    float64 `json:"spare,omitempty"`
+}
+
+// State captures the generator's full state.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// SetState restores a state previously captured with State. The next outputs
+// of r are identical to what the captured generator would have produced.
+func (r *RNG) SetState(s RNGState) {
+	r.state = s.State
+	r.hasSpare = s.HasSpare
+	r.spare = s.Spare
+}
+
 // Split derives a new, statistically independent generator from r. It is the
 // supported way to hand an RNG to a sub-component without sharing state.
 func (r *RNG) Split() *RNG {

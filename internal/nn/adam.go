@@ -1,6 +1,11 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"advnet/internal/mathx"
+)
 
 // Adam implements the Adam optimizer (Kingma & Ba, 2015) over a fixed set of
 // parameter slices. The moment buffers are lazily sized on the first Step.
@@ -57,6 +62,56 @@ func (a *Adam) Step(params, grads [][]float64) {
 
 // Steps returns the number of updates applied so far.
 func (a *Adam) Steps() int { return a.t }
+
+// AdamState is the serializable optimizer state: the step counter and both
+// moment estimates. Together with the parameters it makes an interrupted
+// training run resumable bit-for-bit.
+type AdamState struct {
+	T int         `json:"t"`
+	M [][]float64 `json:"m,omitempty"`
+	V [][]float64 `json:"v,omitempty"`
+}
+
+// State captures a deep copy of the optimizer's moments and step counter.
+func (a *Adam) State() AdamState {
+	st := AdamState{T: a.t}
+	for _, m := range a.m {
+		st.M = append(st.M, mathx.CopyOf(m))
+	}
+	for _, v := range a.v {
+		st.V = append(st.V, mathx.CopyOf(v))
+	}
+	return st
+}
+
+// SetState restores a state captured with State. The moment group shapes
+// must be mutually consistent; Step later re-validates them against the
+// parameter shapes it is given.
+func (a *Adam) SetState(st AdamState) error {
+	if len(st.M) != len(st.V) {
+		return fmt.Errorf("nn: Adam state m/v group count mismatch: %d vs %d", len(st.M), len(st.V))
+	}
+	for i := range st.M {
+		if len(st.M[i]) != len(st.V[i]) {
+			return fmt.Errorf("nn: Adam state group %d m/v size mismatch: %d vs %d", i, len(st.M[i]), len(st.V[i]))
+		}
+	}
+	if st.T < 0 {
+		return fmt.Errorf("nn: Adam state negative step counter %d", st.T)
+	}
+	a.t = st.T
+	if len(st.M) == 0 {
+		a.m, a.v = nil, nil
+		return nil
+	}
+	a.m = make([][]float64, len(st.M))
+	a.v = make([][]float64, len(st.V))
+	for i := range st.M {
+		a.m[i] = mathx.CopyOf(st.M[i])
+		a.v[i] = mathx.CopyOf(st.V[i])
+	}
+	return nil
+}
 
 // Reset clears the moment estimates and the step counter.
 func (a *Adam) Reset() {

@@ -1,0 +1,36 @@
+package nn
+
+import (
+	"encoding/json"
+	"testing"
+
+	"advnet/internal/mathx"
+)
+
+// FuzzMLPUnmarshalJSON checks the deserialization contract: arbitrary bytes
+// either fail with an error or produce a network that is actually usable —
+// never a panic, and never a half-initialized model.
+func FuzzMLPUnmarshalJSON(f *testing.F) {
+	m := NewMLP(mathx.NewRNG(1), []int{3, 4, 2}, Tanh)
+	valid, err := json.Marshal(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"sizes":[3,0],"hidden":"tanh","w":[[]],"b":[[]]}`))
+	f.Add([]byte(`{"sizes":[1,1],"hidden":"relu","w":[[0.5]],"b":[[0.25]]}`))
+	f.Add([]byte(`{"sizes":[2,1],"hidden":"tanh","w":[[1]],"b":[[0]]}`)) // W too short for 2×1
+	f.Add([]byte(`{"sizes":[1,1,1],"hidden":"tanh","w":[[1]],"b":[[0]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var net MLP
+		if err := json.Unmarshal(data, &net); err != nil {
+			return
+		}
+		out, _ := net.Forward(make([]float64, net.InputSize()))
+		if len(out) != net.OutputSize() {
+			t.Fatalf("forward returned %d outputs, want %d", len(out), net.OutputSize())
+		}
+	})
+}

@@ -48,6 +48,11 @@ func (m *MLP) UnmarshalJSON(data []byte) error {
 	if len(s.Sizes) < 2 {
 		return fmt.Errorf("nn: snapshot has %d sizes, need >= 2", len(s.Sizes))
 	}
+	for i, sz := range s.Sizes {
+		if sz <= 0 {
+			return fmt.Errorf("nn: snapshot size %d at index %d, need > 0", sz, i)
+		}
+	}
 	nLayers := len(s.Sizes) - 1
 	if len(s.W) != nLayers || len(s.B) != nLayers {
 		return fmt.Errorf("nn: snapshot layer count mismatch")

@@ -1,0 +1,687 @@
+package rl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"advnet/internal/fsx"
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// This file implements full trainer checkpoints: everything a PPO/A2C run
+// needs to resume bit-for-bit after a crash — policy and value parameters,
+// Adam moments and step counters, the trainer RNG (including the Box-Muller
+// spare), the iteration counter, the collector's pending-episode state, and
+// (for parallel runs) every worker's private RNG stream and episode state.
+//
+// Determinism-on-resume contract: a run that is checkpointed at iteration k,
+// reloaded into a fresh process, and continued produces the same IterStats
+// stream and bitwise-identical final parameters as the uninterrupted run,
+// provided the environments either implement EnvCheckpointer (mid-episode
+// state round-trips) or are stateless between resets. Checkpoints are taken
+// only at iteration boundaries, where the rollout buffer is empty.
+//
+// On-disk format: a JSON envelope {version, kind, sha256, payload} written
+// atomically via fsx.WriteFileAtomic. The sha256 field is the hex digest of
+// the payload bytes; loading verifies it, so a corrupt or truncated
+// checkpoint yields an error instead of silently-wrong trainer state.
+// CheckpointDir layers keep-last-K retention and a manifest on top, and
+// LoadLatest falls back to the previous checkpoint when the newest one is
+// damaged.
+
+// CheckpointVersion identifies the on-disk trainer checkpoint format.
+const CheckpointVersion = 1
+
+// EnvCheckpointer is implemented by environments whose mid-episode state can
+// round-trip through a checkpoint. Trainers save the state of envs that
+// implement it and restore it on load, which is what extends the bitwise
+// determinism-on-resume guarantee across a pending (unfinished) episode.
+// Environments that do not implement it can still be used with checkpointed
+// training, but the pending episode is abandoned on resume: the first
+// post-resume rollout resets the environment, so the resumed run is valid
+// but not bit-identical to the uninterrupted one.
+type EnvCheckpointer interface {
+	// EnvState serializes the environment's current state.
+	EnvState() ([]byte, error)
+	// SetEnvState restores a state captured by EnvState.
+	SetEnvState([]byte) error
+}
+
+// checkpointEnvelope is the outer on-disk structure.
+type checkpointEnvelope struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// collectorState is the serializable cross-iteration episode state of one
+// collector, plus the state of its environment when available.
+type collectorState struct {
+	PendLive bool            `json:"pend_live"`
+	PendObs  []float64       `json:"pend_obs,omitempty"`
+	EpReward float64         `json:"ep_reward"`
+	Env      json.RawMessage `json:"env,omitempty"`
+}
+
+// workerState is one VecRunner worker's private stochastic state. Worker 0
+// shares the trainer's RNG, policy, and value net, so only workers >= 1
+// carry an RNG here; parameters are never stored per worker because weight
+// sync makes every clone identical to the trainer at iteration boundaries.
+type workerState struct {
+	Col collectorState  `json:"collector"`
+	RNG *mathx.RNGState `json:"rng,omitempty"`
+}
+
+// policySnapshot serializes a Policy. Bounds are pointers so that presence
+// is explicit: nil means unbounded (±Inf, which JSON cannot represent), and
+// a present value — including zero — is authoritative on load.
+type policySnapshot struct {
+	Kind      string          `json:"kind"` // "categorical" or "gaussian"
+	Net       json.RawMessage `json:"net"`
+	LogStd    []float64       `json:"log_std,omitempty"`
+	MinLogStd *float64        `json:"min_log_std,omitempty"`
+	MaxLogStd *float64        `json:"max_log_std,omitempty"`
+}
+
+// ppoSnapshot is the checkpoint payload shared by PPO (Workers nil) and
+// VecRunner (one entry per worker) checkpoints; a2cSnapshot mirrors it.
+type ppoSnapshot struct {
+	Cfg     PPOConfig       `json:"cfg"`
+	Iter    int             `json:"iter"`
+	Policy  policySnapshot  `json:"policy"`
+	Value   json.RawMessage `json:"value"`
+	PolOpt  nn.AdamState    `json:"pol_opt"`
+	ValOpt  nn.AdamState    `json:"val_opt"`
+	RNG     mathx.RNGState  `json:"rng"`
+	Col     collectorState  `json:"collector"`
+	Workers []workerState   `json:"workers,omitempty"`
+}
+
+type a2cSnapshot struct {
+	Cfg    A2CConfig       `json:"cfg"`
+	Iter   int             `json:"iter"`
+	Policy policySnapshot  `json:"policy"`
+	Value  json.RawMessage `json:"value"`
+	PolOpt nn.AdamState    `json:"pol_opt"`
+	ValOpt nn.AdamState    `json:"val_opt"`
+	RNG    mathx.RNGState  `json:"rng"`
+	Col    collectorState  `json:"collector"`
+}
+
+// snapshotPolicy captures a policy's parameters and hyperparameters.
+func snapshotPolicy(p Policy) (policySnapshot, error) {
+	switch t := p.(type) {
+	case *CategoricalPolicy:
+		net, err := json.Marshal(t.Net())
+		if err != nil {
+			return policySnapshot{}, err
+		}
+		return policySnapshot{Kind: "categorical", Net: net}, nil
+	case *GaussianPolicy:
+		net, err := json.Marshal(t.Net())
+		if err != nil {
+			return policySnapshot{}, err
+		}
+		s := policySnapshot{
+			Kind:   "gaussian",
+			Net:    net,
+			LogStd: append([]float64(nil), t.LogStd()...),
+		}
+		if !math.IsInf(t.MinLogStd, -1) {
+			v := t.MinLogStd
+			s.MinLogStd = &v
+		}
+		if !math.IsInf(t.MaxLogStd, 1) {
+			v := t.MaxLogStd
+			s.MaxLogStd = &v
+		}
+		return s, nil
+	default:
+		return policySnapshot{}, fmt.Errorf("rl: policy type %T does not support checkpointing", p)
+	}
+}
+
+// restorePolicy loads a snapshot into an existing policy in place (the
+// policy object is shared with collectors and callers, so its identity must
+// be preserved). The snapshot's architecture must match the policy's.
+func restorePolicy(p Policy, s policySnapshot) error {
+	loadNet := func(dst *nn.MLP) error {
+		tmp := new(nn.MLP)
+		if err := json.Unmarshal(s.Net, tmp); err != nil {
+			return fmt.Errorf("rl: checkpoint policy net: %w", err)
+		}
+		if err := dst.CopyParamsFrom(tmp); err != nil {
+			return fmt.Errorf("rl: checkpoint policy net: %w", err)
+		}
+		return nil
+	}
+	switch t := p.(type) {
+	case *CategoricalPolicy:
+		if s.Kind != "categorical" {
+			return fmt.Errorf("rl: checkpoint policy kind %q, trainer has categorical", s.Kind)
+		}
+		return loadNet(t.Net())
+	case *GaussianPolicy:
+		if s.Kind != "gaussian" {
+			return fmt.Errorf("rl: checkpoint policy kind %q, trainer has gaussian", s.Kind)
+		}
+		if len(s.LogStd) != t.Dim() {
+			return fmt.Errorf("rl: checkpoint log_std length %d, want %d", len(s.LogStd), t.Dim())
+		}
+		if err := loadNet(t.Net()); err != nil {
+			return err
+		}
+		copy(t.LogStd(), s.LogStd)
+		t.MinLogStd = math.Inf(-1)
+		t.MaxLogStd = math.Inf(1)
+		if s.MinLogStd != nil {
+			t.MinLogStd = *s.MinLogStd
+		}
+		if s.MaxLogStd != nil {
+			t.MaxLogStd = *s.MaxLogStd
+		}
+		return nil
+	default:
+		return fmt.Errorf("rl: policy type %T does not support checkpointing", p)
+	}
+}
+
+// collectorStateOf captures col's episode state plus env's state when env
+// implements EnvCheckpointer.
+func collectorStateOf(col *collector, env Env) (collectorState, error) {
+	st := col.state()
+	if ec, ok := env.(EnvCheckpointer); ok {
+		data, err := ec.EnvState()
+		if err != nil {
+			return collectorState{}, fmt.Errorf("rl: checkpoint env state: %w", err)
+		}
+		st.Env = data
+	}
+	return st, nil
+}
+
+// restoreCollectorState restores col and env from st. When st carries env
+// state, env must implement EnvCheckpointer; when it does not (the env was
+// not checkpointable at save time), the pending episode is abandoned so the
+// next rollout starts from a fresh reset.
+func restoreCollectorState(col *collector, env Env, st collectorState) error {
+	if len(st.Env) > 0 {
+		ec, ok := env.(EnvCheckpointer)
+		if !ok {
+			return fmt.Errorf("rl: checkpoint has env state but env type %T does not implement EnvCheckpointer", env)
+		}
+		if err := ec.SetEnvState(st.Env); err != nil {
+			return fmt.Errorf("rl: restore env state: %w", err)
+		}
+		col.setState(st)
+		// Bind the pending episode to the restored env now, not lazily at
+		// the next collect: a resumed phase may run zero iterations (the
+		// crash landed exactly on its final checkpoint), and the next
+		// collect can then be against a different environment entirely,
+		// which must abandon the episode rather than adopt the wrong env.
+		col.pendEnv = env
+		return nil
+	}
+	// No env state captured: a live pending episode cannot be resumed
+	// faithfully, so drop it (documented resume semantic for
+	// non-checkpointable environments).
+	st.PendLive = false
+	st.PendObs = nil
+	col.setState(st)
+	return nil
+}
+
+// validateAdamState checks an optimizer state against the parameter groups
+// it will be applied to (a lazily-unstepped optimizer has no groups yet).
+func validateAdamState(st nn.AdamState, params [][]float64, which string) error {
+	if len(st.M) == 0 {
+		return nil
+	}
+	if len(st.M) != len(params) {
+		return fmt.Errorf("rl: checkpoint %s optimizer has %d parameter groups, trainer has %d", which, len(st.M), len(params))
+	}
+	for i := range params {
+		if len(st.M[i]) != len(params[i]) {
+			return fmt.Errorf("rl: checkpoint %s optimizer group %d has %d values, trainer has %d", which, i, len(st.M[i]), len(params[i]))
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint marshals payload into an integrity-checked envelope and
+// writes it atomically.
+func writeCheckpoint(path, kind string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	env := checkpointEnvelope{
+		Version: CheckpointVersion,
+		Kind:    kind,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: data,
+	}
+	out, err := json.Marshal(&env)
+	if err != nil {
+		return err
+	}
+	return fsx.WriteFileAtomic(path, out, 0o644)
+}
+
+// readCheckpoint reads an envelope, verifies version, kind, and integrity,
+// and returns the payload bytes.
+func readCheckpoint(path, kind string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("rl: checkpoint %s: %w", path, err)
+	}
+	if env.Version != CheckpointVersion {
+		return nil, fmt.Errorf("rl: checkpoint %s: version %d, want %d", path, env.Version, CheckpointVersion)
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("rl: checkpoint %s: kind %q, want %q", path, env.Kind, kind)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, fmt.Errorf("rl: checkpoint %s: integrity check failed (corrupt or truncated payload)", path)
+	}
+	return env.Payload, nil
+}
+
+// snapshot builds the PPO checkpoint payload. env may be nil (no pending
+// environment state is captured then).
+func (p *PPO) snapshot(env Env) (*ppoSnapshot, error) {
+	pol, err := snapshotPolicy(p.Policy)
+	if err != nil {
+		return nil, err
+	}
+	val, err := json.Marshal(p.Value)
+	if err != nil {
+		return nil, err
+	}
+	col, err := collectorStateOf(&p.col, env)
+	if err != nil {
+		return nil, err
+	}
+	return &ppoSnapshot{
+		Cfg:    p.cfg,
+		Iter:   p.iter,
+		Policy: pol,
+		Value:  val,
+		PolOpt: p.polOpt.State(),
+		ValOpt: p.valOpt.State(),
+		RNG:    p.rng.State(),
+		Col:    col,
+	}, nil
+}
+
+// restore loads a payload into the trainer in place.
+func (p *PPO) restore(snap *ppoSnapshot, env Env) error {
+	if snap.Cfg != p.cfg {
+		return fmt.Errorf("rl: checkpoint PPO config %+v differs from trainer config %+v", snap.Cfg, p.cfg)
+	}
+	if err := restorePolicy(p.Policy, snap.Policy); err != nil {
+		return err
+	}
+	tmp := new(nn.MLP)
+	if err := json.Unmarshal(snap.Value, tmp); err != nil {
+		return fmt.Errorf("rl: checkpoint value net: %w", err)
+	}
+	if err := p.Value.CopyParamsFrom(tmp); err != nil {
+		return fmt.Errorf("rl: checkpoint value net: %w", err)
+	}
+	if err := validateAdamState(snap.PolOpt, p.Policy.Params(), "policy"); err != nil {
+		return err
+	}
+	if err := validateAdamState(snap.ValOpt, p.Value.Params(), "value"); err != nil {
+		return err
+	}
+	if err := p.polOpt.SetState(snap.PolOpt); err != nil {
+		return err
+	}
+	if err := p.valOpt.SetState(snap.ValOpt); err != nil {
+		return err
+	}
+	p.rng.SetState(snap.RNG)
+	p.iter = snap.Iter
+	p.buf.reset()
+	return restoreCollectorState(&p.col, env, snap.Col)
+}
+
+// SaveCheckpoint writes a full trainer checkpoint to path (atomically, with
+// an integrity digest). env is the training environment; pass nil when no
+// environment state should be captured. Call only at iteration boundaries
+// (between TrainIteration calls).
+func (p *PPO) SaveCheckpoint(path string, env Env) error {
+	snap, err := p.snapshot(env)
+	if err != nil {
+		return err
+	}
+	return writeCheckpoint(path, "ppo", snap)
+}
+
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint into the
+// trainer in place. The trainer must have been constructed with the same
+// configuration and network architectures; env must be the reconstructed
+// training environment (its mid-episode state is restored when the
+// checkpoint carries one). A corrupt, truncated, or mismatched checkpoint
+// returns an error and leaves no partial state guarantee — callers should
+// fall back to an older checkpoint (see CheckpointDir.LoadLatest).
+func (p *PPO) LoadCheckpoint(path string, env Env) error {
+	payload, err := readCheckpoint(path, "ppo")
+	if err != nil {
+		return err
+	}
+	var snap ppoSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("rl: checkpoint %s: %w", path, err)
+	}
+	if len(snap.Workers) > 0 {
+		return fmt.Errorf("rl: checkpoint %s was written by a VecRunner (%d workers); load it through VecRunner.LoadCheckpoint", path, len(snap.Workers))
+	}
+	return p.restore(&snap, env)
+}
+
+// Iteration returns the number of completed training iterations (the next
+// TrainIteration call is iteration Iteration()).
+func (p *PPO) Iteration() int { return p.iter }
+
+// SaveCheckpoint writes a full checkpoint of the runner and its underlying
+// trainer: trainer state plus every worker's private RNG stream and
+// pending-episode state (worker clones' parameters are not stored — weight
+// sync makes them identical to the trainer's at iteration boundaries).
+func (v *VecRunner) SaveCheckpoint(path string) error {
+	p := v.ppo
+	snap, err := p.snapshot(nil)
+	if err != nil {
+		return err
+	}
+	snap.Col = collectorState{} // superseded by Workers[0]
+	for i, w := range v.workers {
+		ws := workerState{}
+		ws.Col, err = collectorStateOf(w.col, w.env)
+		if err != nil {
+			return fmt.Errorf("rl: checkpoint worker %d: %w", i, err)
+		}
+		if i > 0 {
+			st := w.col.rng.State()
+			ws.RNG = &st
+		}
+		snap.Workers = append(snap.Workers, ws)
+	}
+	return writeCheckpoint(path, "ppo-vec", snap)
+}
+
+// LoadCheckpoint restores a checkpoint written by VecRunner.SaveCheckpoint.
+// The runner must have been freshly constructed with the same worker count,
+// configuration, and environment factory as the one that saved it; every
+// piece of stochastic state (trainer RNG, worker RNGs, env states, Adam
+// moments, parameters) is then overwritten from the checkpoint, so whatever
+// randomness construction consumed is irrelevant to the resumed run.
+func (v *VecRunner) LoadCheckpoint(path string) error {
+	p := v.ppo
+	payload, err := readCheckpoint(path, "ppo-vec")
+	if err != nil {
+		return err
+	}
+	var snap ppoSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("rl: checkpoint %s: %w", path, err)
+	}
+	if len(snap.Workers) != len(v.workers) {
+		return fmt.Errorf("rl: checkpoint %s has %d workers, runner has %d", path, len(snap.Workers), len(v.workers))
+	}
+	// Restore trainer state first (worker 0's collector state rides in
+	// Workers[0], not snap.Col).
+	snap.Col = collectorState{}
+	if err := p.restore(&snap, nil); err != nil {
+		return err
+	}
+	for i, w := range v.workers {
+		ws := snap.Workers[i]
+		if i > 0 {
+			if ws.RNG == nil {
+				return fmt.Errorf("rl: checkpoint %s worker %d missing RNG state", path, i)
+			}
+			w.col.rng.SetState(*ws.RNG)
+			// Sync the trainer's freshly-restored weights into the
+			// worker clones, exactly as the end of a TrainIteration
+			// would have.
+			if err := CopyParams(w.col.policy, p.Policy); err != nil {
+				return fmt.Errorf("rl: checkpoint weight sync worker %d: %w", i, err)
+			}
+			if err := w.col.value.CopyParamsFrom(p.Value); err != nil {
+				return fmt.Errorf("rl: checkpoint weight sync worker %d: %w", i, err)
+			}
+			w.buf.reset()
+		}
+		if err := restoreCollectorState(w.col, w.env, ws.Col); err != nil {
+			return fmt.Errorf("rl: checkpoint worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// snapshot/restore for A2C mirror the PPO implementations.
+
+func (a *A2C) snapshot(env Env) (*a2cSnapshot, error) {
+	pol, err := snapshotPolicy(a.Policy)
+	if err != nil {
+		return nil, err
+	}
+	val, err := json.Marshal(a.Value)
+	if err != nil {
+		return nil, err
+	}
+	col, err := collectorStateOf(&a.col, env)
+	if err != nil {
+		return nil, err
+	}
+	return &a2cSnapshot{
+		Cfg:    a.cfg,
+		Iter:   a.iter,
+		Policy: pol,
+		Value:  val,
+		PolOpt: a.polOpt.State(),
+		ValOpt: a.valOpt.State(),
+		RNG:    a.rng.State(),
+		Col:    col,
+	}, nil
+}
+
+// SaveCheckpoint writes a full A2C trainer checkpoint (see PPO.SaveCheckpoint).
+func (a *A2C) SaveCheckpoint(path string, env Env) error {
+	snap, err := a.snapshot(env)
+	if err != nil {
+		return err
+	}
+	return writeCheckpoint(path, "a2c", snap)
+}
+
+// LoadCheckpoint restores a checkpoint written by A2C.SaveCheckpoint (see
+// PPO.LoadCheckpoint for the contract).
+func (a *A2C) LoadCheckpoint(path string, env Env) error {
+	payload, err := readCheckpoint(path, "a2c")
+	if err != nil {
+		return err
+	}
+	var snap a2cSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("rl: checkpoint %s: %w", path, err)
+	}
+	if snap.Cfg != a.cfg {
+		return fmt.Errorf("rl: checkpoint A2C config %+v differs from trainer config %+v", snap.Cfg, a.cfg)
+	}
+	if err := restorePolicy(a.Policy, snap.Policy); err != nil {
+		return err
+	}
+	tmp := new(nn.MLP)
+	if err := json.Unmarshal(snap.Value, tmp); err != nil {
+		return fmt.Errorf("rl: checkpoint value net: %w", err)
+	}
+	if err := a.Value.CopyParamsFrom(tmp); err != nil {
+		return fmt.Errorf("rl: checkpoint value net: %w", err)
+	}
+	if err := validateAdamState(snap.PolOpt, a.Policy.Params(), "policy"); err != nil {
+		return err
+	}
+	if err := validateAdamState(snap.ValOpt, a.Value.Params(), "value"); err != nil {
+		return err
+	}
+	if err := a.polOpt.SetState(snap.PolOpt); err != nil {
+		return err
+	}
+	if err := a.valOpt.SetState(snap.ValOpt); err != nil {
+		return err
+	}
+	a.rng.SetState(snap.RNG)
+	a.iter = snap.Iter
+	a.buf.reset()
+	return restoreCollectorState(&a.col, env, snap.Col)
+}
+
+// Iteration returns the number of completed training iterations.
+func (a *A2C) Iteration() int { return a.iter }
+
+// CheckpointDir manages a directory of rolling checkpoints: numbered files,
+// a manifest, keep-last-K retention, and fallback loading. All writes are
+// atomic, so a crash at any point leaves a loadable directory.
+type CheckpointDir struct {
+	Dir  string
+	Keep int // checkpoints retained; <= 0 means DefaultKeep
+}
+
+// DefaultKeep is the number of checkpoints retained when CheckpointDir.Keep
+// is unset.
+const DefaultKeep = 3
+
+// manifestName is the manifest file within a checkpoint directory.
+const manifestName = "manifest.json"
+
+type manifestEntry struct {
+	Iter int    `json:"iter"`
+	File string `json:"file"`
+}
+
+type checkpointManifest struct {
+	Entries []manifestEntry `json:"entries"` // ascending by Iter
+}
+
+func (d *CheckpointDir) keep() int {
+	if d.Keep <= 0 {
+		return DefaultKeep
+	}
+	return d.Keep
+}
+
+// fileFor names the checkpoint file for an iteration.
+func fileFor(iter int) string { return fmt.Sprintf("ckpt-%08d.json", iter) }
+
+// readManifest loads the manifest, falling back to scanning the directory
+// when the manifest is missing or unreadable (ascending iteration order).
+func (d *CheckpointDir) readManifest() checkpointManifest {
+	var m checkpointManifest
+	data, err := os.ReadFile(filepath.Join(d.Dir, manifestName))
+	if err == nil && json.Unmarshal(data, &m) == nil && len(m.Entries) > 0 {
+		return m
+	}
+	// Fallback: scan for ckpt-*.json.
+	entries, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return checkpointManifest{}
+	}
+	for _, e := range entries {
+		var iter int
+		if n, _ := fmt.Sscanf(e.Name(), "ckpt-%d.json", &iter); n == 1 {
+			m.Entries = append(m.Entries, manifestEntry{Iter: iter, File: e.Name()})
+		}
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Iter < m.Entries[j].Iter })
+	return m
+}
+
+// Save writes the checkpoint for iteration iter through write (which
+// receives the full file path), then updates the manifest and prunes
+// checkpoints beyond the retention count. The manifest is updated only
+// after the checkpoint file is fully written, so a crash mid-save leaves
+// the previous manifest pointing at intact files.
+func (d *CheckpointDir) Save(iter int, write func(path string) error) error {
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return err
+	}
+	name := fileFor(iter)
+	if err := write(filepath.Join(d.Dir, name)); err != nil {
+		return err
+	}
+	m := d.readManifest()
+	// Replace an existing entry for the same iteration, else append.
+	replaced := false
+	for i := range m.Entries {
+		if m.Entries[i].Iter == iter {
+			m.Entries[i].File = name
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		m.Entries = append(m.Entries, manifestEntry{Iter: iter, File: name})
+		sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Iter < m.Entries[j].Iter })
+	}
+	// Prune to the newest Keep entries.
+	for len(m.Entries) > d.keep() {
+		victim := m.Entries[0]
+		m.Entries = m.Entries[1:]
+		os.Remove(filepath.Join(d.Dir, victim.File))
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	return fsx.WriteFileAtomic(filepath.Join(d.Dir, manifestName), data, 0o644)
+}
+
+// Latest returns the newest checkpoint's path and iteration, or an error if
+// the directory holds none.
+func (d *CheckpointDir) Latest() (path string, iter int, err error) {
+	m := d.readManifest()
+	if len(m.Entries) == 0 {
+		return "", 0, fmt.Errorf("rl: no checkpoints in %s", d.Dir)
+	}
+	last := m.Entries[len(m.Entries)-1]
+	return filepath.Join(d.Dir, last.File), last.Iter, nil
+}
+
+// LoadLatest loads the newest checkpoint through load, falling back to the
+// next-older one each time load fails (corrupt file, integrity mismatch,
+// …). It returns the iteration of the checkpoint that loaded, or an error
+// joining every failure when none could be loaded.
+func (d *CheckpointDir) LoadLatest(load func(path string) error) (int, error) {
+	m := d.readManifest()
+	if len(m.Entries) == 0 {
+		return 0, fmt.Errorf("rl: no checkpoints in %s", d.Dir)
+	}
+	var errs []error
+	for i := len(m.Entries) - 1; i >= 0; i-- {
+		e := m.Entries[i]
+		if err := load(filepath.Join(d.Dir, e.File)); err != nil {
+			errs = append(errs, fmt.Errorf("ckpt iter %d: %w", e.Iter, err))
+			continue
+		}
+		return e.Iter, nil
+	}
+	return 0, fmt.Errorf("rl: no loadable checkpoint in %s: %w", d.Dir, errors.Join(errs...))
+}

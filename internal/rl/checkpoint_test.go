@@ -1,0 +1,565 @@
+package rl
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"advnet/internal/faults"
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// ckptTargetEnv is targetEnv with mid-episode checkpoint support: episodes
+// span multiple steps, so resuming a pending episode bitwise requires the
+// env's step counter to round-trip.
+type ckptTargetEnv struct {
+	targetEnv
+}
+
+type ckptTargetEnvState struct {
+	Step int `json:"step"`
+}
+
+func (e *ckptTargetEnv) EnvState() ([]byte, error) {
+	return json.Marshal(ckptTargetEnvState{Step: e.step})
+}
+
+func (e *ckptTargetEnv) SetEnvState(data []byte) error {
+	var st ckptTargetEnvState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	e.step = st.Step
+	return nil
+}
+
+func newCkptEnv() *ckptTargetEnv {
+	return &ckptTargetEnv{targetEnv{target: 1.5, horizon: 8}}
+}
+
+// newCkptFixture builds a Gaussian-policy PPO trainer. The seed matters only
+// for the run that generates the checkpoint; a trainer restored from a
+// checkpoint has all of its stochastic state overwritten, which the resume
+// tests prove by constructing the resumed trainer with a different seed.
+// MaxLogStd is set to 0 — an explicitly-present zero bound — so every
+// save/load round-trips the bound-presence encoding.
+func newCkptFixture(t *testing.T, seed uint64, steps int) (*PPO, *GaussianPolicy, *nn.MLP) {
+	t.Helper()
+	rng := mathx.NewRNG(seed)
+	policy := NewGaussianPolicy(nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh), -0.5)
+	policy.MaxLogStd = 0
+	value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+	cfg := DefaultPPOConfig()
+	cfg.RolloutSteps = steps
+	cfg.LR = 0.005
+	p, err := NewPPO(policy, value, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, policy, value
+}
+
+// TestPPOResumeBitwise: save at iteration 3, load into a trainer built with
+// a DIFFERENT seed, continue — stats and final parameters must be bitwise
+// identical to the uninterrupted 6-iteration run. RolloutSteps=50 with
+// horizon-8 episodes guarantees a live mid-episode pending state at the
+// checkpoint, exercising the EnvCheckpointer path.
+func TestPPOResumeBitwise(t *testing.T) {
+	full, fullPol, fullVal := newCkptFixture(t, 50, 50)
+	fullStats := full.Train(newCkptEnv(), 6)
+	fullFP := fingerprint(append(fullPol.Params(), fullVal.Params()...), fullStats)
+
+	a, _, _ := newCkptFixture(t, 50, 50)
+	envA := newCkptEnv()
+	headStats := a.Train(envA, 3)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := a.SaveCheckpoint(path, envA); err != nil {
+		t.Fatal(err)
+	}
+
+	b, bPol, bVal := newCkptFixture(t, 999, 50) // different seed: checkpoint must be authoritative
+	envB := newCkptEnv()
+	if err := b.LoadCheckpoint(path, envB); err != nil {
+		t.Fatal(err)
+	}
+	if b.Iteration() != 3 {
+		t.Fatalf("Iteration() = %d after load, want 3", b.Iteration())
+	}
+	if bPol.MaxLogStd != 0 {
+		t.Fatalf("MaxLogStd = %v after load, want explicit 0", bPol.MaxLogStd)
+	}
+	if !math.IsInf(bPol.MinLogStd, -1) {
+		t.Fatalf("MinLogStd = %v after load, want -Inf", bPol.MinLogStd)
+	}
+	tailStats := b.Train(envB, 3)
+
+	combined := append(append([]IterStats(nil), headStats...), tailStats...)
+	for i := range fullStats {
+		if fullStats[i] != combined[i] {
+			t.Fatalf("iter %d stats diverge after resume:\nfull    %+v\nresumed %+v", i, fullStats[i], combined[i])
+		}
+	}
+	resFP := fingerprint(append(bPol.Params(), bVal.Params()...), combined)
+	if fullFP != resFP {
+		t.Fatalf("resumed run fingerprint %#x, uninterrupted %#x", resFP, fullFP)
+	}
+}
+
+// TestVecResumeBitwise is the parallel counterpart for W ∈ {1, 4}: a
+// VecRunner checkpoint captures every worker's RNG stream and pending
+// episode, so the resumed run matches the uninterrupted one bitwise.
+func TestVecResumeBitwise(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "W=1", 4: "W=4"}[workers], func(t *testing.T) {
+			factory := func(int) Env { return newCkptEnv() }
+
+			full, fullPol, fullVal := newCkptFixture(t, 50, 50)
+			vFull, err := NewVecRunner(full, factory, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullStats, err := vFull.Train(6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullFP := fingerprint(append(fullPol.Params(), fullVal.Params()...), fullStats)
+
+			a, _, _ := newCkptFixture(t, 50, 50)
+			vA, err := NewVecRunner(a, factory, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			headStats, err := vA.Train(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "ckpt.json")
+			if err := vA.SaveCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+
+			b, bPol, bVal := newCkptFixture(t, 999, 50)
+			vB, err := NewVecRunner(b, factory, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vB.LoadCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			tailStats, err := vB.Train(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			combined := append(append([]IterStats(nil), headStats...), tailStats...)
+			for i := range fullStats {
+				if fullStats[i] != combined[i] {
+					t.Fatalf("iter %d stats diverge after resume:\nfull    %+v\nresumed %+v", i, fullStats[i], combined[i])
+				}
+			}
+			resFP := fingerprint(append(bPol.Params(), bVal.Params()...), combined)
+			if fullFP != resFP {
+				t.Fatalf("resumed W=%d fingerprint %#x, uninterrupted %#x", workers, resFP, fullFP)
+			}
+		})
+	}
+}
+
+// TestA2CResumeBitwise: the A2C checkpoint round-trips the same way.
+func TestA2CResumeBitwise(t *testing.T) {
+	build := func(seed uint64) (*A2C, *GaussianPolicy, *nn.MLP) {
+		rng := mathx.NewRNG(seed)
+		policy := NewGaussianPolicy(nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh), -0.5)
+		value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+		cfg := DefaultA2CConfig()
+		cfg.RolloutSteps = 50
+		a, err := NewA2C(policy, value, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, policy, value
+	}
+
+	full, fullPol, fullVal := build(89)
+	fullStats := full.Train(newCkptEnv(), 4)
+	fullFP := fingerprint(append(fullPol.Params(), fullVal.Params()...), fullStats)
+
+	a, _, _ := build(89)
+	envA := newCkptEnv()
+	headStats := a.Train(envA, 2)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := a.SaveCheckpoint(path, envA); err != nil {
+		t.Fatal(err)
+	}
+
+	b, bPol, bVal := build(1234)
+	envB := newCkptEnv()
+	if err := b.LoadCheckpoint(path, envB); err != nil {
+		t.Fatal(err)
+	}
+	tailStats := b.Train(envB, 2)
+
+	combined := append(append([]IterStats(nil), headStats...), tailStats...)
+	for i := range fullStats {
+		if fullStats[i] != combined[i] {
+			t.Fatalf("iter %d stats diverge after resume:\nfull    %+v\nresumed %+v", i, fullStats[i], combined[i])
+		}
+	}
+	resFP := fingerprint(append(bPol.Params(), bVal.Params()...), combined)
+	if fullFP != resFP {
+		t.Fatalf("resumed A2C fingerprint %#x, uninterrupted %#x", resFP, fullFP)
+	}
+}
+
+// TestTrainCheckpointedCrashResume drives the full crash-safe loop: a fault
+// injected at the "rl.train.iter" point simulates the process dying between
+// iterations 3 and 4; a freshly-built (different-seed) trainer pointed at
+// the same checkpoint directory resumes and finishes, and the combined run
+// matches the uninterrupted one bitwise.
+func TestTrainCheckpointedCrashResume(t *testing.T) {
+	ckpt := CheckpointConfig{Dir: t.TempDir(), Every: 1, Keep: 3}
+
+	full, fullPol, fullVal := newCkptFixture(t, 50, 50)
+	fullStats := full.Train(newCkptEnv(), 6)
+	fullFP := fingerprint(append(fullPol.Params(), fullVal.Params()...), fullStats)
+
+	errCrash := errors.New("simulated crash")
+	a, _, _ := newCkptFixture(t, 50, 50)
+	faults.Set("rl.train.iter", faults.FailN(errCrash, func(args ...any) bool {
+		return args[0].(int) == 3
+	}))
+	headStats, err := a.TrainCheckpointed(newCkptEnv(), 6, ckpt)
+	faults.Clear("rl.train.iter")
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("err = %v, want simulated crash", err)
+	}
+	if len(headStats) != 3 {
+		t.Fatalf("completed %d iterations before crash, want 3", len(headStats))
+	}
+
+	b, bPol, bVal := newCkptFixture(t, 999, 50)
+	tailStats, err := b.TrainCheckpointed(newCkptEnv(), 6, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tailStats) != 3 {
+		t.Fatalf("resumed run executed %d iterations, want 3", len(tailStats))
+	}
+
+	combined := append(append([]IterStats(nil), headStats...), tailStats...)
+	for i := range fullStats {
+		if fullStats[i] != combined[i] {
+			t.Fatalf("iter %d stats diverge after crash-resume:\nfull    %+v\nresumed %+v", i, fullStats[i], combined[i])
+		}
+	}
+	resFP := fingerprint(append(bPol.Params(), bVal.Params()...), combined)
+	if fullFP != resFP {
+		t.Fatalf("crash-resumed fingerprint %#x, uninterrupted %#x", resFP, fullFP)
+	}
+}
+
+// TestCheckpointDirFallback: when the newest checkpoint is truncated on
+// disk, LoadLatest reports the corruption, falls back to the previous one,
+// and returns its iteration.
+func TestCheckpointDirFallback(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := CheckpointConfig{Dir: dir, Every: 1, Keep: 3}
+	a, _, _ := newCkptFixture(t, 50, 50)
+	if _, err := a.TrainCheckpointed(newCkptEnv(), 3, ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the newest checkpoint mid-payload.
+	cd := &CheckpointDir{Dir: dir}
+	newest, iter, err := cd.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 3 {
+		t.Fatalf("latest iter = %d, want 3", iter)
+	}
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, _, _ := newCkptFixture(t, 999, 50)
+	envB := newCkptEnv()
+	got, err := cd.LoadLatest(func(path string) error { return b.LoadCheckpoint(path, envB) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("fell back to iter %d, want 2", got)
+	}
+	if b.Iteration() != 2 {
+		t.Fatalf("trainer at iteration %d, want 2", b.Iteration())
+	}
+}
+
+// TestCheckpointDirRetention: Keep bounds the number of files on disk.
+func TestCheckpointDirRetention(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := CheckpointConfig{Dir: dir, Every: 1, Keep: 2}
+	a, _, _ := newCkptFixture(t, 50, 50)
+	if _, err := a.TrainCheckpointed(newCkptEnv(), 5, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("%d checkpoints on disk, want 2 (Keep)", len(matches))
+	}
+	cd := &CheckpointDir{Dir: dir, Keep: 2}
+	if _, iter, err := cd.Latest(); err != nil || iter != 5 {
+		t.Fatalf("Latest = (%d, %v), want (5, nil)", iter, err)
+	}
+}
+
+// TestCheckpointLoadRejects: corrupt files, kind mismatches, and
+// config/architecture mismatches must all error — never panic, never load
+// silently-wrong state.
+func TestCheckpointLoadRejects(t *testing.T) {
+	dir := t.TempDir()
+	a, _, _ := newCkptFixture(t, 50, 50)
+	envA := newCkptEnv()
+	a.Train(envA, 1)
+	good := filepath.Join(dir, "good.json")
+	if err := a.SaveCheckpoint(good, envA); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("garbage bytes", func(t *testing.T) {
+		p := filepath.Join(dir, "garbage.json")
+		os.WriteFile(p, []byte("{not json"), 0o644)
+		b, _, _ := newCkptFixture(t, 50, 50)
+		if err := b.LoadCheckpoint(p, newCkptEnv()); err == nil {
+			t.Fatal("loaded garbage without error")
+		}
+	})
+
+	t.Run("flipped payload bit", func(t *testing.T) {
+		data, err := os.ReadFile(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env checkpointEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Payload[len(env.Payload)/2] ^= 0x01
+		bad, _ := json.Marshal(&env)
+		p := filepath.Join(dir, "bitflip.json")
+		os.WriteFile(p, bad, 0o644)
+		b, _, _ := newCkptFixture(t, 50, 50)
+		err = b.LoadCheckpoint(p, newCkptEnv())
+		if err == nil {
+			t.Fatal("integrity check did not catch a flipped payload byte")
+		}
+	})
+
+	t.Run("config mismatch", func(t *testing.T) {
+		rng := mathx.NewRNG(1)
+		policy := NewGaussianPolicy(nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh), -0.5)
+		value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+		cfg := DefaultPPOConfig()
+		cfg.RolloutSteps = 50
+		cfg.LR = 0.005
+		cfg.Gamma = 0.9 // differs from the saved trainer
+		b, err := NewPPO(policy, value, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.LoadCheckpoint(good, newCkptEnv()); err == nil {
+			t.Fatal("loaded checkpoint with mismatched config")
+		}
+	})
+
+	t.Run("architecture mismatch", func(t *testing.T) {
+		rng := mathx.NewRNG(1)
+		policy := NewGaussianPolicy(nn.NewMLP(rng, []int{1, 16, 1}, nn.Tanh), -0.5)
+		value := nn.NewMLP(rng, []int{1, 16, 1}, nn.Tanh)
+		cfg := DefaultPPOConfig()
+		cfg.RolloutSteps = 50
+		cfg.LR = 0.005
+		b, err := NewPPO(policy, value, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.LoadCheckpoint(good, newCkptEnv()); err == nil {
+			t.Fatal("loaded checkpoint with mismatched architecture")
+		}
+	})
+
+	t.Run("vec checkpoint into sequential trainer", func(t *testing.T) {
+		c, _, _ := newCkptFixture(t, 50, 50)
+		v, err := NewVecRunner(c, func(int) Env { return newCkptEnv() }, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Train(1); err != nil {
+			t.Fatal(err)
+		}
+		vp := filepath.Join(dir, "vec.json")
+		if err := v.SaveCheckpoint(vp); err != nil {
+			t.Fatal(err)
+		}
+		b, _, _ := newCkptFixture(t, 50, 50)
+		if err := b.LoadCheckpoint(vp, newCkptEnv()); err == nil {
+			t.Fatal("sequential trainer loaded a vec checkpoint")
+		}
+		// And a worker-count mismatch on the vec side.
+		d, _, _ := newCkptFixture(t, 50, 50)
+		v3, err := NewVecRunner(d, func(int) Env { return newCkptEnv() }, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v3.LoadCheckpoint(vp); err == nil {
+			t.Fatal("vec runner loaded a checkpoint with a different worker count")
+		}
+	})
+}
+
+// TestVecWorkerPanicContained: an injected panic inside worker 2's rollout
+// must surface as a *WorkerPanicError naming worker 2 — the process
+// survives, and the runner keeps working afterwards.
+func TestVecWorkerPanicContained(t *testing.T) {
+	p, _, _, factory := newVecFixture(64)
+	v, err := NewVecRunner(p, factory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Set("rl.vec.collect", func(args ...any) error {
+		if args[0].(int) == 2 {
+			panic("injected rollout fault")
+		}
+		return nil
+	})
+	_, err = v.TrainIteration()
+	faults.Clear("rl.vec.collect")
+
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	if wpe.Worker != 2 {
+		t.Fatalf("panic attributed to worker %d, want 2", wpe.Worker)
+	}
+	if len(wpe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+
+	// The runner must be usable again: buffers were reset, episode state
+	// abandoned, and the iteration counter not advanced.
+	if p.Iteration() != 0 {
+		t.Fatalf("iteration counter advanced to %d through a failed iteration", p.Iteration())
+	}
+	stats, err := v.TrainIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != 64 {
+		t.Fatalf("post-recovery iteration collected %d steps, want 64", stats.Steps)
+	}
+}
+
+// TestParallelEvaluatePanicContained mirrors the rollout containment for
+// evaluation shards.
+func TestParallelEvaluatePanicContained(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 2}, nn.Identity))
+	envs := []Env{
+		&banditEnv{rewards: []float64{0.3, 0.9}},
+		&banditEnv{rewards: []float64{0.3, 0.9}},
+	}
+	faults.Set("rl.eval.episode", func(args ...any) error {
+		if args[0].(int) == 1 {
+			panic("injected eval fault")
+		}
+		return nil
+	})
+	_, err := ParallelEvaluate(policy, envs, 8, 2)
+	faults.Clear("rl.eval.episode")
+
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	if wpe.Worker != 1 {
+		t.Fatalf("panic attributed to worker %d, want 1", wpe.Worker)
+	}
+
+	// Evaluation still works once the fault is cleared.
+	st, err := ParallelEvaluate(policy, envs, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Episodes != 8 {
+		t.Fatalf("Episodes = %d, want 8", st.Episodes)
+	}
+}
+
+// TestDivergenceWatchdogRollsBack: a NaN poisoned into the value net during
+// training must trip the watchdog; with a checkpoint directory available the
+// trainer is rolled back to the last good checkpoint before the error is
+// returned.
+func TestDivergenceWatchdogRollsBack(t *testing.T) {
+	ckpt := CheckpointConfig{Dir: t.TempDir(), Every: 1}
+	p, _, _ := newCkptFixture(t, 50, 50)
+	faults.Set("rl.train.iter", func(args ...any) error {
+		if args[0].(int) == 2 {
+			p.Value.Params()[0][0] = math.NaN()
+		}
+		return nil
+	})
+	_, err := p.TrainCheckpointed(newCkptEnv(), 4, ckpt)
+	faults.Clear("rl.train.iter")
+
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DivergenceError", err)
+	}
+	if de.Iteration != 2 {
+		t.Fatalf("divergence at iteration %d, want 2", de.Iteration)
+	}
+	if !de.RolledBack {
+		t.Fatal("watchdog did not roll back to the last checkpoint")
+	}
+	if detail := checkFinite(IterStats{}, p.Policy.Params(), p.Value.Params()); detail != "" {
+		t.Fatalf("non-finite state survived rollback: %s", detail)
+	}
+	if p.Iteration() != 2 {
+		t.Fatalf("rolled back to iteration %d, want 2", p.Iteration())
+	}
+}
+
+// TestDivergenceWatchdogNoCheckpoint: without a checkpoint dir, the watchdog
+// still aborts with a diagnostic (no rollback to offer).
+func TestDivergenceWatchdogNoCheckpoint(t *testing.T) {
+	p, _, _ := newCkptFixture(t, 50, 50)
+	faults.Set("rl.train.iter", func(args ...any) error {
+		if args[0].(int) == 1 {
+			p.Value.Params()[0][0] = math.Inf(1)
+		}
+		return nil
+	})
+	_, err := p.TrainCheckpointed(newCkptEnv(), 3, CheckpointConfig{})
+	faults.Clear("rl.train.iter")
+
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DivergenceError", err)
+	}
+	if de.RolledBack {
+		t.Fatal("claims rollback with no checkpoint directory")
+	}
+}

@@ -93,3 +93,39 @@ func (c *collector) bootstrap() float64 {
 	}
 	return c.value.PredictInto(c.vcache, c.pendObs)[0]
 }
+
+// abandonEpisode drops the pending cross-iteration episode state, forcing
+// the next collect call to reset its environment. Used after a worker panic
+// leaves the episode state untrustworthy.
+func (c *collector) abandonEpisode() {
+	c.pendLive = false
+	c.pendEnv = nil
+	c.curEpReward = 0
+}
+
+// state captures the collector's cross-iteration episode state for a
+// checkpoint (the env itself is captured separately, see EnvCheckpointer).
+func (c *collector) state() collectorState {
+	st := collectorState{PendLive: c.pendLive, EpReward: c.curEpReward}
+	if c.pendLive {
+		st.PendObs = append([]float64(nil), c.pendObs...)
+	}
+	return st
+}
+
+// setState restores a captured collector state. It leaves pendEnv nil; the
+// restore path (restoreCollectorState) binds the matching restored env, so a
+// later collect against any other environment abandons the pending episode
+// just as an uninterrupted run would at an env switch.
+func (c *collector) setState(st collectorState) {
+	c.pendLive = st.PendLive
+	c.curEpReward = st.EpReward
+	c.pendEnv = nil
+	if st.PendLive {
+		if cap(c.pendObs) < len(st.PendObs) {
+			c.pendObs = make([]float64, len(st.PendObs))
+		}
+		c.pendObs = c.pendObs[:len(st.PendObs)]
+		copy(c.pendObs, st.PendObs)
+	}
+}

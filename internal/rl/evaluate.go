@@ -2,8 +2,10 @@ package rl
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"advnet/internal/faults"
 	"advnet/internal/mathx"
 )
 
@@ -120,22 +122,40 @@ func ParallelEvaluate(policy Policy, envs []Env, episodes, workers int) (EvalSta
 
 	totals := make([]float64, episodes)
 	lengths := make([]float64, episodes)
-	shard := func(w int) {
+	// Each shard is panic-contained: a panic in an environment or policy on
+	// one worker becomes a *WorkerPanicError naming that worker instead of
+	// taking down the process (and with it the other shards' results).
+	shard := func(w int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &WorkerPanicError{Worker: w, Value: r, Stack: debug.Stack()}
+			}
+		}()
 		for ep := w; ep < episodes; ep += workers {
+			if ferr := faults.Fire("rl.eval.episode", w, ep); ferr != nil {
+				return ferr
+			}
 			total, length := runEvalEpisode(policies[w], envs[w])
 			totals[ep] = total
 			lengths[ep] = float64(length)
 		}
+		return nil
 	}
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 1; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			shard(w)
+			errs[w] = shard(w)
 		}(w)
 	}
-	shard(0)
+	errs[0] = shard(0)
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return EvalStats{}, err
+		}
+	}
 	return evalStatsFrom(totals, lengths), nil
 }

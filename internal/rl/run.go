@@ -1,0 +1,212 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"advnet/internal/faults"
+)
+
+// This file holds the crash-safe training loops: periodic checkpointing with
+// keep-last-K retention, a divergence watchdog that aborts (and rolls the
+// trainer back to the last good checkpoint) when a loss or parameter goes
+// NaN/Inf, and typed errors for worker-panic containment.
+
+// WorkerPanicError reports a panic recovered inside one parallel rollout
+// worker or evaluation shard. The process survives: the panic is converted
+// into this error, the panicking lane's partial state is discarded, and the
+// caller decides whether to abort or reload from a checkpoint.
+type WorkerPanicError struct {
+	Worker int    // index of the worker/shard that panicked
+	Value  any    // the recovered panic value
+	Stack  []byte // stack trace captured at recovery
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("rl: worker %d panicked: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// DivergenceError reports that the divergence watchdog found a NaN or Inf in
+// the training statistics or parameters after an iteration. Training is
+// deterministic, so retrying the same iteration would diverge identically —
+// the caller must change something (hyperparameters, data) before resuming
+// from the rolled-back checkpoint.
+type DivergenceError struct {
+	Iteration  int
+	Detail     string
+	RolledBack bool // trainer state was restored from the last checkpoint
+}
+
+func (e *DivergenceError) Error() string {
+	msg := fmt.Sprintf("rl: divergence at iteration %d: %s", e.Iteration, e.Detail)
+	if e.RolledBack {
+		msg += " (trainer rolled back to last checkpoint)"
+	}
+	return msg
+}
+
+// CheckpointConfig controls periodic checkpointing in the TrainCheckpointed
+// loops. A zero value disables checkpointing (the loops still run the
+// divergence watchdog).
+type CheckpointConfig struct {
+	Dir   string // checkpoint directory; empty disables checkpointing
+	Every int    // save every N iterations; <= 0 means every iteration
+	Keep  int    // checkpoints retained; <= 0 means DefaultKeep
+}
+
+func (c CheckpointConfig) enabled() bool { return c.Dir != "" }
+
+func (c CheckpointConfig) every() int {
+	if c.Every <= 0 {
+		return 1
+	}
+	return c.Every
+}
+
+func (c CheckpointConfig) dir() *CheckpointDir {
+	return &CheckpointDir{Dir: c.Dir, Keep: c.Keep}
+}
+
+// checkFinite returns a description of the first non-finite value found in
+// the iteration's loss statistics or the given parameter groups, or "".
+func checkFinite(stats IterStats, groups ...[][]float64) string {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"policy loss", stats.PolicyLoss},
+		{"value loss", stats.ValueLoss},
+		{"entropy", stats.Entropy},
+		{"approx KL", stats.ApproxKL},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Sprintf("%s is %v", c.name, c.v)
+		}
+	}
+	for gi, params := range groups {
+		for pi, p := range params {
+			for j, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Sprintf("parameter set %d group %d index %d is %v", gi, pi, j, v)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// trainLoop is the shared crash-safe loop body. step runs one iteration;
+// save writes a checkpoint for the *completed* iteration count; load
+// restores from a checkpoint path (used for rollback on divergence); params
+// supplies the parameter sets the watchdog scans.
+func trainLoop(
+	start, iterations int,
+	ckpt CheckpointConfig,
+	step func() (IterStats, error),
+	save func(path string) error,
+	load func(path string) error,
+	params func() [][][]float64,
+) ([]IterStats, error) {
+	var cd *CheckpointDir
+	if ckpt.enabled() {
+		cd = ckpt.dir()
+	}
+	out := make([]IterStats, 0, iterations-start)
+	for i := start; i < iterations; i++ {
+		// Crash-simulation point for resume tests: an injected error here
+		// models the process dying between iterations.
+		if err := faults.Fire("rl.train.iter", i); err != nil {
+			return out, err
+		}
+		stats, err := step()
+		if err != nil {
+			return out, err
+		}
+		if detail := checkFinite(stats, params()...); detail != "" {
+			derr := &DivergenceError{Iteration: stats.Iteration, Detail: detail}
+			if cd != nil {
+				if _, err := cd.LoadLatest(load); err == nil {
+					derr.RolledBack = true
+				}
+			}
+			return out, derr
+		}
+		out = append(out, stats)
+		done := i + 1
+		if cd != nil && (done%ckpt.every() == 0 || done == iterations) {
+			if err := cd.Save(done, save); err != nil {
+				return out, fmt.Errorf("rl: checkpoint at iteration %d: %w", done, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TrainCheckpointed runs sequential PPO training with periodic atomic
+// checkpoints and a divergence watchdog. It resumes from the newest loadable
+// checkpoint in ckpt.Dir when one exists (falling back past corrupt files),
+// runs until the trainer has completed `iterations` total iterations, and
+// returns the stats of the iterations executed by this call. On divergence
+// the trainer is rolled back to the last checkpoint and a *DivergenceError
+// is returned.
+func (p *PPO) TrainCheckpointed(env Env, iterations int, ckpt CheckpointConfig) ([]IterStats, error) {
+	if ckpt.enabled() {
+		cd := ckpt.dir()
+		if _, _, err := cd.Latest(); err == nil {
+			if _, err := cd.LoadLatest(func(path string) error {
+				return p.LoadCheckpoint(path, env)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return trainLoop(p.iter, iterations, ckpt,
+		func() (IterStats, error) { return p.TrainIteration(env), nil },
+		func(path string) error { return p.SaveCheckpoint(path, env) },
+		func(path string) error { return p.LoadCheckpoint(path, env) },
+		func() [][][]float64 { return [][][]float64{p.Policy.Params(), p.Value.Params()} },
+	)
+}
+
+// TrainCheckpointed is the A2C counterpart of PPO.TrainCheckpointed.
+func (a *A2C) TrainCheckpointed(env Env, iterations int, ckpt CheckpointConfig) ([]IterStats, error) {
+	if ckpt.enabled() {
+		cd := ckpt.dir()
+		if _, _, err := cd.Latest(); err == nil {
+			if _, err := cd.LoadLatest(func(path string) error {
+				return a.LoadCheckpoint(path, env)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return trainLoop(a.iter, iterations, ckpt,
+		func() (IterStats, error) { return a.TrainIteration(env), nil },
+		func(path string) error { return a.SaveCheckpoint(path, env) },
+		func(path string) error { return a.LoadCheckpoint(path, env) },
+		func() [][][]float64 { return [][][]float64{a.Policy.Params(), a.Value.Params()} },
+	)
+}
+
+// TrainCheckpointed runs parallel training with periodic checkpoints, resume,
+// and the divergence watchdog (see PPO.TrainCheckpointed). A recovered
+// worker panic surfaces as a *WorkerPanicError; the runner's rollout state
+// is reset so the caller may reload a checkpoint and continue in-process.
+func (v *VecRunner) TrainCheckpointed(iterations int, ckpt CheckpointConfig) ([]IterStats, error) {
+	if ckpt.enabled() {
+		cd := ckpt.dir()
+		if _, _, err := cd.Latest(); err == nil {
+			if _, err := cd.LoadLatest(v.LoadCheckpoint); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p := v.ppo
+	return trainLoop(p.iter, iterations, ckpt,
+		v.TrainIteration,
+		v.SaveCheckpoint,
+		v.LoadCheckpoint,
+		func() [][][]float64 { return [][][]float64{p.Policy.Params(), p.Value.Params()} },
+	)
+}

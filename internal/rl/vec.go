@@ -2,7 +2,10 @@ package rl
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
+
+	"advnet/internal/faults"
 )
 
 // EnvFactory builds the environment instance for one rollout worker. It is
@@ -95,32 +98,74 @@ func NewVecRunner(p *PPO, factory EnvFactory, workers int) (*VecRunner, error) {
 // Workers returns the pool width.
 func (v *VecRunner) Workers() int { return len(v.workers) }
 
+// collectWorker runs worker i's rollout share with panic containment: a
+// panic anywhere in the worker's collection (environment step, policy
+// forward pass, buffer append) is recovered into a *WorkerPanicError that
+// names the worker and carries the stack, instead of killing the process.
+// Workers >= 1 also compute their GAE here, off the trainer goroutine.
+func (v *VecRunner) collectWorker(i int, w *vecWorker) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WorkerPanicError{Worker: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := faults.Fire("rl.vec.collect", i); ferr != nil {
+		return ferr
+	}
+	w.cs = w.col.collect(w.env, w.steps)
+	w.lastValue = w.col.bootstrap()
+	if i > 0 {
+		w.buf.computeGAE(v.ppo.cfg.Gamma, v.ppo.cfg.Lambda, w.lastValue)
+	}
+	return nil
+}
+
+// resetAfterFault discards every worker's partially-collected rollout and
+// pending episode. After a worker fault the merged buffer contents and
+// cross-iteration episode state are untrustworthy; dropping them leaves the
+// runner in a state from which training can continue (the next iteration
+// resets every environment) or a checkpoint can be reloaded.
+func (v *VecRunner) resetAfterFault() {
+	for _, w := range v.workers {
+		w.buf.reset()
+		w.col.abandonEpisode()
+	}
+}
+
 // TrainIteration collects one parallel rollout and performs the PPO update.
-func (v *VecRunner) TrainIteration() IterStats {
+// A panic inside a rollout worker is contained: it surfaces as a
+// *WorkerPanicError naming the worker, the iteration's partial data is
+// discarded, and the iteration counter is not advanced.
+func (v *VecRunner) TrainIteration() (IterStats, error) {
 	p := v.ppo
 	stats := IterStats{Iteration: p.iter}
 	p.iter++
 
+	errs := make([]error, len(v.workers))
 	if len(v.workers) == 1 {
 		// Inline: identical to the sequential trainer, no goroutines.
-		w := v.workers[0]
-		w.cs = w.col.collect(w.env, w.steps)
-		w.lastValue = w.col.bootstrap()
+		errs[0] = v.collectWorker(0, v.workers[0])
 	} else {
 		var wg sync.WaitGroup
-		for _, w := range v.workers[1:] {
+		for i, w := range v.workers {
+			if i == 0 {
+				continue
+			}
 			wg.Add(1)
-			go func(w *vecWorker) {
+			go func(i int, w *vecWorker) {
 				defer wg.Done()
-				w.cs = w.col.collect(w.env, w.steps)
-				w.lastValue = w.col.bootstrap()
-				w.buf.computeGAE(p.cfg.Gamma, p.cfg.Lambda, w.lastValue)
-			}(w)
+				errs[i] = v.collectWorker(i, w)
+			}(i, w)
 		}
-		w0 := v.workers[0]
-		w0.cs = w0.col.collect(w0.env, w0.steps)
-		w0.lastValue = w0.col.bootstrap()
+		errs[0] = v.collectWorker(0, v.workers[0])
 		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			v.resetAfterFault()
+			p.iter-- // the iteration did not complete
+			return stats, err
+		}
 	}
 
 	// Worker 0's transitions are already in p.buf (aliased). Compute its
@@ -146,16 +191,20 @@ func (v *VecRunner) TrainIteration() IterStats {
 	p.buf.reset()
 
 	// Sync updated weights back to the worker clones (worker 0 already
-	// shares the trainer's parameters).
-	for _, w := range v.workers[1:] {
+	// shares the trainer's parameters). A sync failure means the clones no
+	// longer mirror the trainer, so the runner must not continue collecting.
+	for i, w := range v.workers {
+		if i == 0 {
+			continue
+		}
 		if err := CopyParams(w.col.policy, p.Policy); err != nil {
-			panic(fmt.Sprintf("rl: weight sync: %v", err))
+			return stats, fmt.Errorf("rl: weight sync worker %d: %w", i, err)
 		}
 		if err := w.col.value.CopyParamsFrom(p.Value); err != nil {
-			panic(fmt.Sprintf("rl: weight sync: %v", err))
+			return stats, fmt.Errorf("rl: weight sync worker %d: %w", i, err)
 		}
 	}
-	return stats
+	return stats, nil
 }
 
 // obsDimOf/actDimOf report the row widths of a non-empty buffer (0 if empty,
@@ -174,13 +223,19 @@ func actDimOf(b *rolloutBuffer) int {
 	return len(b.steps[0].action)
 }
 
-// Train runs the given number of parallel iterations.
-func (v *VecRunner) Train(iterations int) []IterStats {
+// Train runs the given number of parallel iterations, stopping at the first
+// iteration error (worker panic, weight-sync failure) and returning the
+// stats collected so far alongside it.
+func (v *VecRunner) Train(iterations int) ([]IterStats, error) {
 	out := make([]IterStats, 0, iterations)
 	for i := 0; i < iterations; i++ {
-		out = append(out, v.TrainIteration())
+		stats, err := v.TrainIteration()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, stats)
 	}
-	return out
+	return out, nil
 }
 
 // TrainParallel is the parallel counterpart of Train: it builds a VecRunner
@@ -191,5 +246,5 @@ func (p *PPO) TrainParallel(factory EnvFactory, workers, iterations int) ([]Iter
 	if err != nil {
 		return nil, err
 	}
-	return v.Train(iterations), nil
+	return v.Train(iterations)
 }

@@ -62,7 +62,11 @@ func TestVecW1InterleavesWithSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixStats := []IterStats{v.TrainIteration(), mix.TrainIteration(env)}
+	vecStats, err := v.TrainIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixStats := []IterStats{vecStats, mix.TrainIteration(env)}
 
 	for i := range seqStats {
 		if seqStats[i] != mixStats[i] {
@@ -159,7 +163,9 @@ func TestVecWeightSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v.TrainIteration()
+	if _, err := v.TrainIteration(); err != nil {
+		t.Fatal(err)
+	}
 	main := p.Policy.Params()
 	for wi, w := range v.workers {
 		for gi, g := range w.col.policy.Params() {
