@@ -22,17 +22,20 @@ race:
 
 # Micro-benchmarks for the NN hot path (must report 0 allocs/op), the
 # batched minibatch kernels (row loops vs blocked GEMM), the parallel PPO
-# iteration (W=1 vs W=4), and the parallel dataset evaluation (W=1 vs W=4).
+# iteration (W=1 vs W=4), the parallel dataset evaluation (W=1 vs W=4), and
+# the indexed trace-link download (prefix-sum vs historical linear rescan).
 # Results are recorded in EXPERIMENTS.md.
 bench:
 	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkForwardBatch|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR' -benchmem .
+	$(GO) test -run 'xxx' -bench 'BenchmarkTraceLinkDownload' -benchmem ./internal/abr/
 
-# Crash-safety and fault-injection suite (DESIGN.md §8.2) under the race
-# detector: bitwise checkpoint resume (rl trainers, abr env state, the
-# robust pipeline), worker-panic containment, the divergence watchdog, and
-# the atomic-write crash simulation.
+# Crash-safety and fault-injection suite (DESIGN.md §8.2/§8.3) under the
+# race detector: bitwise checkpoint resume (rl trainers, abr env state, the
+# robust pipeline, shard cursors), worker-panic containment, the divergence
+# watchdog, shard determinism, zero-bandwidth download guards, and the
+# atomic-write crash simulation.
 faults:
-	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/
+	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/
 
 # Tier-1 verification: build + tests, plus vet and the race detector.
 verify: build vet test race

@@ -3,8 +3,16 @@
 //
 // Usage:
 //
-//	advtrain -domain abr -target bb|mpc|rate -o adversary.json [-traces-out traces.json -n 50]
+//	advtrain -domain abr -target bb|mpc|rate|bola -o adversary.json [-traces-out traces.json -n 50]
+//	advtrain -domain abr -target pensieve -pretrain-iters 20 -workers 4 -o adversary.json
 //	advtrain -domain cc  -target bbr|cubic|reno -o adversary.json
+//
+// The pensieve target is trained from scratch on a synthetic FCC-like corpus
+// before the adversary attacks it; with -workers > 1 that pretraining streams
+// the corpus sharded across workers unless -no-shard restores the legacy
+// full-dataset sampling. The adversary environments themselves are
+// dataset-free (the adversary emits the bandwidths), so -shard affects only
+// the pensieve pretraining.
 package main
 
 import (
@@ -18,18 +26,22 @@ import (
 	"advnet/internal/core"
 	"advnet/internal/mathx"
 	"advnet/internal/netem"
+	"advnet/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	domain := flag.String("domain", "abr", "abr or cc")
-	target := flag.String("target", "bb", "abr: bb|mpc|rate; cc: bbr|cubic|reno")
+	target := flag.String("target", "bb", "abr: bb|mpc|rate|bola|pensieve; cc: bbr|cubic|reno|copa|vivace|htcp")
 	out := flag.String("o", "adversary.json", "output path for the trained adversary")
 	tracesOut := flag.String("traces-out", "", "also generate adversarial traces to this path (abr only)")
 	n := flag.Int("n", 50, "number of traces to generate with -traces-out")
 	iters := flag.Int("iters", 0, "PPO iterations (0 = domain default)")
 	seed := flag.Uint64("seed", 1, "training seed")
 	workers := flag.Int("workers", 1, "parallel rollout workers (1 = historical single-threaded path)")
+	shard := flag.Bool("shard", true, "with -target pensieve and -workers > 1, shard the pretraining corpus round-robin across workers")
+	noShard := flag.Bool("no-shard", false, "force legacy full-dataset sampling during pensieve pretraining (overrides -shard)")
+	pretrainIters := flag.Int("pretrain-iters", 20, "PPO iterations for pretraining the pensieve target")
 	gemm := flag.Bool("gemm", false, "blocked GEMM minibatch updates (faster; matches the default path to rounding, not bitwise)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic crash-safe training checkpoints (empty = disabled)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "save a checkpoint every N training iterations")
@@ -55,6 +67,21 @@ func main() {
 			proto = abr.NewRateBased()
 		case "bola":
 			proto = abr.NewBOLA()
+		case "pensieve":
+			corpus := trace.GenerateFCCLikeDataset(rng.Split(), trace.DefaultFCCLike(), 40, "fcc")
+			mode := "full-dataset"
+			train := abr.TrainPensieveParallel
+			if *shard && !*noShard && *workers > 1 {
+				mode = "sharded"
+				train = abr.TrainPensieveSharded
+			}
+			log.Printf("pretraining pensieve target on %d traces (%s sampling, %d workers, %d iterations)...",
+				len(corpus.Traces), mode, *workers, *pretrainIters)
+			agent, _, err := train(video, corpus, *pretrainIters, *workers, rng.Split())
+			if err != nil {
+				log.Fatal(err)
+			}
+			proto = agent
 		default:
 			log.Fatalf("unknown abr target %q", *target)
 		}

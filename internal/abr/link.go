@@ -1,6 +1,9 @@
 package abr
 
 import (
+	"fmt"
+	"sort"
+
 	"advnet/internal/trace"
 )
 
@@ -21,8 +24,14 @@ type ConstantLink struct {
 	RTTSeconds    float64
 }
 
-// Download implements Link: size/bandwidth plus one round trip.
+// Download implements Link: size/bandwidth plus one round trip. A
+// non-positive (or NaN) bandwidth would make the division yield ±Inf/NaN and
+// silently poison the session clock and every downstream QoE figure, so it
+// panics instead.
 func (l *ConstantLink) Download(sizeBits, _ float64) float64 {
+	if !(l.BandwidthMbps > 0) {
+		panic(fmt.Sprintf("abr: ConstantLink.Download with bandwidth %v Mbps (a transfer at <= 0 Mbps never completes)", l.BandwidthMbps))
+	}
 	return sizeBits/(l.BandwidthMbps*1e6) + l.RTTSeconds
 }
 
@@ -32,33 +41,87 @@ func (l *ConstantLink) BandwidthAt(_ float64) float64 { return l.BandwidthMbps }
 // TraceLink replays a bandwidth trace: the transfer progresses through the
 // trace's intervals at their respective rates (the Pensieve simulator's
 // download model), plus one round trip of latency per chunk.
+//
+// The link keeps a lazily-built cumulative-duration index over the trace's
+// points so each interval lookup is O(log points) instead of O(points) — one
+// chunk download over a trace with many intervals used to be quadratic. The
+// index is rebuilt whenever the Trace pointer or its length changes; traces
+// are otherwise treated as immutable while a link replays them, matching how
+// every caller in this repository uses them.
 type TraceLink struct {
 	Trace      *trace.Trace
 	RTTSeconds float64
+
+	idxTrace *trace.Trace // trace the index below was built for
+	idxLen   int
+	cum      []float64 // cum[i] = sum of Points[:i] durations, len(Points)+1
+	hasBW    bool      // any point with positive bandwidth
+}
+
+// ensureIndex (re)builds the cumulative-duration prefix sums. The partial
+// sums are accumulated left to right, exactly like Trace.TotalDuration and
+// the interval scan the index replaces, so every boundary value is bitwise
+// the number the historical per-interval rescan computed.
+func (l *TraceLink) ensureIndex() {
+	if l.idxTrace == l.Trace && l.idxLen == len(l.Trace.Points) {
+		return
+	}
+	pts := l.Trace.Points
+	l.cum = make([]float64, len(pts)+1)
+	l.hasBW = false
+	var acc float64
+	for i, p := range pts {
+		acc += p.Duration
+		l.cum[i+1] = acc
+		if p.BandwidthMbps > 0 {
+			l.hasBW = true
+		}
+	}
+	l.idxTrace = l.Trace
+	l.idxLen = len(pts)
 }
 
 // Download implements Link by integrating the trace's bandwidth from start
-// until sizeBits have been delivered.
+// until sizeBits have been delivered. A trace whose every point has zero
+// bandwidth can never deliver a positive transfer — the historical loop spun
+// forever growing t — so it panics with a diagnosis instead of hanging.
 func (l *TraceLink) Download(sizeBits, start float64) float64 {
 	remaining := sizeBits
 	t := start
-	total := l.Trace.TotalDuration()
+	if !(remaining > 0) {
+		return (t - start) + l.RTTSeconds
+	}
+	l.ensureIndex()
+	if l.idxLen == 0 {
+		panic("abr: TraceLink.Download on empty trace")
+	}
+	if !l.hasBW {
+		panic(fmt.Sprintf("abr: TraceLink.Download on trace %q: every point has zero bandwidth, the transfer can never complete", l.Trace.Name))
+	}
+	total := l.cum[l.idxLen]
+	if !(total > 0) {
+		panic(fmt.Sprintf("abr: TraceLink.Download on trace %q: non-positive total duration %v", l.Trace.Name, total))
+	}
 	for remaining > 0 {
-		p := l.Trace.At(t)
-		// Time left in the current interval.
+		// Locate the interval containing t. intoTrace and the prefix sums
+		// reproduce the historical linear scan's arithmetic exactly; only
+		// the search is logarithmic.
 		intoTrace := mod(t, total)
+		i := sort.Search(l.idxLen, func(k int) bool { return intoTrace < l.cum[k+1] })
 		var left float64
-		acc := 0.0
-		for _, q := range l.Trace.Points {
-			if intoTrace < acc+q.Duration {
-				left = acc + q.Duration - intoTrace
-				break
+		if i == l.idxLen {
+			// mod landed exactly on (or, through rounding, past) the trace
+			// end: treat it as the start of the last interval, the
+			// historical fallback for a scan that found nothing.
+			i = l.idxLen - 1
+			left = l.Trace.Points[i].Duration
+		} else {
+			left = l.cum[i+1] - intoTrace
+			if left <= 0 {
+				left = l.Trace.Points[i].Duration
 			}
-			acc += q.Duration
 		}
-		if left <= 0 {
-			left = p.Duration
-		}
+		p := l.Trace.Points[i]
 		rate := p.BandwidthMbps * 1e6 // bits per second
 		if rate <= 0 {
 			// Zero-bandwidth interval: wait it out.
@@ -108,9 +171,14 @@ func NewChunkLink(tr *trace.Trace, rttS float64) *ChunkLink {
 	return &ChunkLink{Bandwidths: tr.Bandwidths(), RTTSeconds: rttS}
 }
 
-// Download implements Link, consuming one bandwidth entry per call.
+// Download implements Link, consuming one bandwidth entry per call. A chunk
+// served at <= 0 Mbps never finishes (the division yields +Inf and poisons
+// session time and QoE with NaN downstream), so it panics instead.
 func (l *ChunkLink) Download(sizeBits, _ float64) float64 {
 	bw := l.current()
+	if !(bw > 0) {
+		panic(fmt.Sprintf("abr: ChunkLink.Download chunk %d with bandwidth %v Mbps (a transfer at <= 0 Mbps never completes)", l.calls, bw))
+	}
 	l.calls++
 	return sizeBits/(bw*1e6) + l.RTTSeconds
 }

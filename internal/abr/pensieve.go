@@ -116,6 +116,7 @@ type TrainEnv struct {
 	RTTSeconds float64
 
 	rng      *mathx.RNG
+	sampler  TraceSampler // nil → historical uniform rng draw
 	session  *Session
 	traceIdx int // dataset index of the current session's trace; -1 when none
 }
@@ -129,9 +130,18 @@ func NewTrainEnv(video *Video, dataset *trace.Dataset, cfg SessionConfig, rttS f
 	return &TrainEnv{Video: video, Dataset: dataset, Cfg: cfg, RTTSeconds: rttS, rng: rng, traceIdx: -1}
 }
 
-// Reset implements rl.Env.
+// Reset implements rl.Env. With a sampler installed the next trace comes from
+// it; otherwise the env draws uniformly from the full dataset with its own
+// RNG — the historical path, preserved bit-for-bit for unsharded training.
 func (e *TrainEnv) Reset() []float64 {
-	e.traceIdx = e.rng.Intn(len(e.Dataset.Traces))
+	if e.sampler != nil {
+		e.traceIdx = e.sampler.NextTrace()
+		if e.traceIdx < 0 || e.traceIdx >= len(e.Dataset.Traces) {
+			panic(fmt.Sprintf("abr: trace sampler returned index %d outside dataset [0,%d)", e.traceIdx, len(e.Dataset.Traces)))
+		}
+	} else {
+		e.traceIdx = e.rng.Intn(len(e.Dataset.Traces))
+	}
 	link := &TraceLink{Trace: e.Dataset.Traces[e.traceIdx], RTTSeconds: e.RTTSeconds}
 	e.session = NewSession(e.Video, link, e.Cfg)
 	return Features(e.session.Observation())
@@ -141,15 +151,24 @@ func (e *TrainEnv) Reset() []float64 {
 // trace-sampling RNG plus, when an episode is in flight, which trace it runs
 // on and the mid-stream session state.
 type trainEnvState struct {
-	RNG      mathx.RNGState `json:"rng"`
-	TraceIdx int            `json:"trace_idx"`
-	Session  *SessionState  `json:"session,omitempty"`
+	RNG      mathx.RNGState     `json:"rng"`
+	TraceIdx int                `json:"trace_idx"`
+	Session  *SessionState      `json:"session,omitempty"`
+	Shard    *shardSamplerState `json:"shard,omitempty"`
 }
 
 // EnvState implements rl.EnvCheckpointer: it serializes the trace-sampling
-// RNG and any in-flight session so a resumed trainer replays bit-for-bit.
+// RNG, the shard cursor when the env streams a shard, and any in-flight
+// session so a resumed trainer replays bit-for-bit.
 func (e *TrainEnv) EnvState() ([]byte, error) {
 	st := trainEnvState{RNG: e.rng.State(), TraceIdx: -1}
+	switch s := e.sampler.(type) {
+	case nil:
+	case *ShardTraceSampler:
+		st.Shard = &shardSamplerState{Index: s.shard.Index(), Count: s.shard.Count(), Cursor: s.cursor.State()}
+	default:
+		return nil, fmt.Errorf("abr: trace sampler %T does not support checkpointing", e.sampler)
+	}
 	if e.session != nil && !e.session.Done() {
 		ss := e.session.State()
 		st.TraceIdx = e.traceIdx
@@ -159,12 +178,35 @@ func (e *TrainEnv) EnvState() ([]byte, error) {
 }
 
 // SetEnvState implements rl.EnvCheckpointer. The env must be built over the
-// same video and dataset the state was captured against; the trace index is
-// validated against the dataset and the session state against the video.
+// same video, dataset, and shard assignment the state was captured against;
+// the trace index is validated against the dataset, the session state against
+// the video, and the shard cursor against the env's own shard. Validation
+// happens before any mutation, so a failed restore leaves the env untouched.
 func (e *TrainEnv) SetEnvState(data []byte) error {
 	var st trainEnvState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("abr: decode env state: %w", err)
+	}
+	sampler, isSharded := e.sampler.(*ShardTraceSampler)
+	var restored *trace.Cursor
+	if st.Shard != nil {
+		if !isSharded {
+			return fmt.Errorf("abr: checkpoint carries shard %d/%d cursor but env is not sharded", st.Shard.Index, st.Shard.Count)
+		}
+		if sampler.shard.Index() != st.Shard.Index || sampler.shard.Count() != st.Shard.Count {
+			return fmt.Errorf("abr: checkpoint shard %d/%d does not match env shard %d/%d",
+				st.Shard.Index, st.Shard.Count, sampler.shard.Index(), sampler.shard.Count())
+		}
+		c, err := trace.RestoreCursor(st.Shard.Cursor)
+		if err != nil {
+			return err
+		}
+		if c.Len() != sampler.shard.Len() {
+			return fmt.Errorf("abr: checkpoint cursor spans %d traces, env shard has %d", c.Len(), sampler.shard.Len())
+		}
+		restored = c
+	} else if isSharded {
+		return fmt.Errorf("abr: env streams shard %d/%d but checkpoint carries no shard cursor", sampler.shard.Index(), sampler.shard.Count())
 	}
 	if st.Session != nil {
 		if st.TraceIdx < 0 || st.TraceIdx >= len(e.Dataset.Traces) {
@@ -180,6 +222,9 @@ func (e *TrainEnv) SetEnvState(data []byte) error {
 	} else {
 		e.session = nil
 		e.traceIdx = -1
+	}
+	if restored != nil {
+		sampler.cursor = restored
 	}
 	e.rng.SetState(st.RNG)
 	return nil
@@ -233,8 +278,25 @@ func TrainPensieve(video *Video, dataset *trace.Dataset, iterations int, rng *ma
 // rl.VecRunner. workers ≤ 1 falls back to the single-threaded TrainPensieve
 // path, which is bit-for-bit the historical behaviour.
 func TrainPensieveParallel(video *Video, dataset *trace.Dataset, iterations, workers int, rng *mathx.RNG) (*Pensieve, *rl.PPO, error) {
+	return trainPensieveVec(video, dataset, iterations, workers, false, rng)
+}
+
+// trainPensieveVec is the shared body of TrainPensieveParallel and
+// TrainPensieveSharded. The RNG consumption sequence (policy net, value net,
+// PPO, then one Split per worker in worker order) is identical on both paths;
+// sharded envs additionally draw their cursor seed from their own private
+// worker stream, never from the parent rng.
+func trainPensieveVec(video *Video, dataset *trace.Dataset, iterations, workers int, sharded bool, rng *mathx.RNG) (*Pensieve, *rl.PPO, error) {
 	if workers <= 1 {
 		return TrainPensieve(video, dataset, iterations, rng)
+	}
+	var shards *trace.ShardedDataset
+	if sharded {
+		var err error
+		shards, err = trace.NewShardedDataset(dataset, workers)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	levels := video.Levels()
 	policy := rl.NewCategoricalPolicy(NewPensieveNet(rng, levels))
@@ -251,6 +313,9 @@ func TrainPensieveParallel(video *Video, dataset *trace.Dataset, iterations, wor
 		rngs[i] = rng.Split()
 	}
 	if _, err := ppo.TrainParallel(func(worker int) rl.Env {
+		if shards != nil {
+			return NewTrainEnvSharded(video, dataset, DefaultSessionConfig(), 0.08, rngs[worker], shards.Shard(worker))
+		}
 		return NewTrainEnv(video, dataset, DefaultSessionConfig(), 0.08, rngs[worker])
 	}, workers, iterations); err != nil {
 		return nil, nil, err

@@ -389,7 +389,11 @@ func trainABRAdversaryOnce(video *abr.Video, target abr.Protocol, cfg ABRAdversa
 // protocol; higher workers drive clones (protocols carry per-session state
 // and evaluation scratch, so instances must not be shared across
 // goroutines). The target must implement abr.CloneableProtocol when workers
-// > 1.
+// > 1. The worker index is the shard slot of the sharding contract (DESIGN.md
+// §8.3), but ABREnv streams no trace dataset — the adversary emits the
+// bandwidths itself — so there is nothing to shard here; dataset-backed
+// factories (abr.TrainPensieveSharded, core.TrainRobustPensieve with
+// ShardTraces) assign trace shard w to worker w under the same convention.
 func ABREnvFactory(video *abr.Video, target abr.Protocol, cfg ABRAdversaryConfig, workers int) (rl.EnvFactory, error) {
 	targets := []abr.Protocol{target}
 	for i := 1; i < workers; i++ {

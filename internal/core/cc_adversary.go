@@ -320,7 +320,10 @@ func TrainCCAdversary(newCC func() netem.CongestionController, cfg CCAdversaryCo
 // CCEnvFactory returns an rl.EnvFactory producing one CCEnv per rollout
 // worker. The per-worker emulator RNG streams are split from rng up front, in
 // worker order, so the resulting environments are deterministic for a fixed
-// worker count regardless of when the factory is invoked.
+// worker count regardless of when the factory is invoked. Like ABREnvFactory,
+// the worker index is the shard slot of the sharding contract (DESIGN.md
+// §8.3), but CCEnv is dataset-free — the adversary drives the emulated link
+// directly — so trace sharding does not apply.
 func CCEnvFactory(newCC func() netem.CongestionController, cfg CCAdversaryConfig, rng *mathx.RNG, workers int) rl.EnvFactory {
 	rngs := make([]*mathx.RNG, workers)
 	for i := range rngs {

@@ -39,6 +39,16 @@ type RobustTrainConfig struct {
 	// via AdvOpt.Workers. Workers ≤ 1 is the historical single-threaded
 	// path.
 	Workers int
+	// ShardTraces partitions the training dataset round-robin across the
+	// rollout workers (trace.NewShardedDataset): worker w streams only
+	// shard w of Workers, in deterministic epoch-reshuffled order, instead
+	// of every worker sampling the full dataset. The union of the shards
+	// covers every trace exactly once per epoch, runs are reproducible for
+	// a fixed worker count, and shard cursors ride along in checkpoints
+	// (DESIGN.md §8.3). Requires Workers ≤ len(dataset.Traces) in every
+	// phase (phase 2 trains on the merged, therefore larger, dataset).
+	// Ignored when Workers ≤ 1.
+	ShardTraces bool
 	// GEMM routes the protocol PPO's minibatch updates through the
 	// blocked matrix–matrix kernels (rl.PPOConfig.GEMM); the adversary of
 	// step (2) opts in separately via AdvOpt.GEMM. Results match the
@@ -134,11 +144,22 @@ func TrainRobustPensieve(video *abr.Video, dataset *trace.Dataset, cfg RobustTra
 	// off here is overwritten by the state restored from the checkpoint.
 	trainPhase := func(ds *trace.Dataset, target int, pck rl.CheckpointConfig) ([]rl.IterStats, error) {
 		if cfg.Workers > 1 {
+			var shards *trace.ShardedDataset
+			if cfg.ShardTraces {
+				var err error
+				shards, err = trace.NewShardedDataset(ds, cfg.Workers)
+				if err != nil {
+					return nil, err
+				}
+			}
 			rngs := make([]*mathx.RNG, cfg.Workers)
 			for i := range rngs {
 				rngs[i] = rng.Split()
 			}
 			v, err := rl.NewVecRunner(ppo, func(worker int) rl.Env {
+				if shards != nil {
+					return abr.NewTrainEnvSharded(video, ds, abr.DefaultSessionConfig(), cfg.RTTSeconds, rngs[worker], shards.Shard(worker))
+				}
 				return abr.NewTrainEnv(video, ds, abr.DefaultSessionConfig(), cfg.RTTSeconds, rngs[worker])
 			}, cfg.Workers)
 			if err != nil {

@@ -129,7 +129,9 @@ type Dataset struct {
 
 // Split partitions the dataset into train and test subsets, putting the first
 // floor(frac*len) traces in train. Callers should shuffle first if ordering
-// matters.
+// matters. The returned trace slices are copies: growing the train set (the
+// §2.3 merge path appends adversarial traces) must never write through a
+// shared backing array into the held-out test set.
 func (d *Dataset) Split(frac float64) (train, test *Dataset) {
 	n := int(frac * float64(len(d.Traces)))
 	if n < 0 {
@@ -138,8 +140,8 @@ func (d *Dataset) Split(frac float64) (train, test *Dataset) {
 	if n > len(d.Traces) {
 		n = len(d.Traces)
 	}
-	train = &Dataset{Name: d.Name + "-train", Traces: d.Traces[:n]}
-	test = &Dataset{Name: d.Name + "-test", Traces: d.Traces[n:]}
+	train = &Dataset{Name: d.Name + "-train", Traces: append([]*Trace(nil), d.Traces[:n]...)}
+	test = &Dataset{Name: d.Name + "-test", Traces: append([]*Trace(nil), d.Traces[n:]...)}
 	return train, test
 }
 
