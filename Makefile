@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench faults verify
+.PHONY: all build test vet race bench serve-race faults verify
 
 all: verify
 
@@ -26,8 +26,15 @@ race:
 # the indexed trace-link download (prefix-sum vs historical linear rescan).
 # Results are recorded in EXPERIMENTS.md.
 bench:
-	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkForwardBatch|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR' -benchmem .
+	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkForwardBatch|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR|BenchmarkServeStorm' -benchmem .
 	$(GO) test -run 'xxx' -bench 'BenchmarkTraceLinkDownload' -benchmem ./internal/abr/
+	$(GO) run ./cmd/serve -n 200000 -batch 32 -storm 128 -json BENCH_serve.json
+
+# Serving-engine concurrency suite under the race detector: hot-reload
+# consistency (snapshot swaps mid-storm, every response consistent with
+# exactly one snapshot), the concurrent request storm, and close semantics.
+serve-race:
+	$(GO) test -race -count=1 ./internal/serve/
 
 # Crash-safety and fault-injection suite (DESIGN.md §8.2/§8.3) under the
 # race detector: bitwise checkpoint resume (rl trainers, abr env state, the

@@ -8,6 +8,7 @@ package advnet
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"advnet/internal/abr"
 	"advnet/internal/core"
@@ -15,6 +16,7 @@ import (
 	"advnet/internal/mathx"
 	"advnet/internal/nn"
 	"advnet/internal/rl"
+	"advnet/internal/serve"
 	"advnet/internal/trace"
 )
 
@@ -394,6 +396,57 @@ func BenchmarkEvaluateABR(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkServeStorm measures the policy-serving engine under a request
+// storm against the single-request Predict baseline (the pre-engine serving
+// path). The engine aggregates concurrent requests into GEMM minibatches, so
+// at batch ≥16 its throughput should exceed the baseline's by ≥3× — the
+// batched forward pass amortizes per-layer loop overhead and the pooled
+// request path removes Predict's per-call cache allocations. avgBatch reports
+// the realized batching density and p50/p95/p99 the enqueue→computed serving
+// latency in microseconds (measured numbers in EXPERIMENTS.md and
+// BENCH_serve.json).
+func BenchmarkServeStorm(b *testing.B) {
+	const levels = 6
+	rng := mathx.NewRNG(13)
+	net := abr.NewPensieveNet(rng, levels)
+	feats := make([]float64, net.InputSize())
+	for i := range feats {
+		feats[i] = rng.Uniform(-1, 1)
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = mathx.ArgMax(net.Predict(feats))
+		}
+	})
+	for _, batch := range []int{16, 64} {
+		b.Run(fmt.Sprintf("storm/batch=%d", batch), func(b *testing.B) {
+			eng := serve.NewEngine(serve.NewRegistry(net), serve.Config{
+				Workers:  1,
+				MaxBatch: batch,
+				MaxWait:  200 * time.Microsecond,
+			})
+			defer eng.Close()
+			b.SetParallelism(2 * batch) // concurrent clients feed the batcher
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := eng.Select(feats); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := eng.Stats()
+			b.ReportMetric(st.AvgBatch, "avgBatch")
+			b.ReportMetric(st.Latency.P50, "p50us")
+			b.ReportMetric(st.Latency.P99, "p99us")
 		})
 	}
 }

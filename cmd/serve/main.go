@@ -1,0 +1,158 @@
+// Command serve storms the policy-serving inference engine and reports
+// machine-readable performance telemetry: throughput, realized batching
+// density, and p50/p95/p99 serving latency, plus the single-request Predict
+// baseline the batched path is measured against.
+//
+// Usage:
+//
+//	serve -policy pensieve.json -storm 64 -n 200000 -json BENCH_serve.json
+//	serve -levels 6 -workers 2 -batch 32      # fresh random net, stdout only
+//
+// The -policy file may be any format the repository writes: a standalone
+// policy envelope, a full PPO/A2C trainer checkpoint, or bare MLP JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"advnet/internal/abr"
+	"advnet/internal/fsx"
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+	"advnet/internal/serve"
+	"advnet/internal/stats"
+)
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Config struct {
+		Workers   int     `json:"workers"`
+		MaxBatch  int     `json:"max_batch"`
+		MaxWaitUs float64 `json:"max_wait_us"`
+		Storm     int     `json:"storm"`
+		Requests  int     `json:"requests"`
+		Arch      []int   `json:"arch"`
+		Policy    string  `json:"policy,omitempty"`
+	} `json:"config"`
+	Engine struct {
+		Served        uint64        `json:"served"`
+		Batches       uint64        `json:"batches"`
+		AvgBatch      float64       `json:"avg_batch"`
+		ThroughputRPS float64       `json:"throughput_rps"`
+		WallSeconds   float64       `json:"wall_seconds"`
+		LatencyUs     stats.Summary `json:"latency_us"`
+	} `json:"engine"`
+	Baseline struct {
+		Requests      int     `json:"requests"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+	} `json:"baseline"`
+	Speedup float64 `json:"speedup"`
+}
+
+func main() {
+	log.SetFlags(0)
+	policyPath := flag.String("policy", "", "policy network to serve (envelope, trainer checkpoint, or bare MLP JSON); empty = fresh random Pensieve net")
+	levels := flag.Int("levels", 6, "bitrate-ladder size when synthesizing a fresh net (ignored with -policy)")
+	workers := flag.Int("workers", 0, "shard workers (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 32, "max batch per flush (and each worker's cache capacity)")
+	wait := flag.Duration("wait", 100*time.Microsecond, "batching window: how long a partial batch waits for more requests")
+	storm := flag.Int("storm", 64, "concurrent client goroutines")
+	n := flag.Int("n", 200_000, "total requests across the storm")
+	jsonOut := flag.String("json", "", "write the machine-readable report here (e.g. BENCH_serve.json)")
+	seed := flag.Uint64("seed", 1, "seed for the synthesized net and request features")
+	flag.Parse()
+
+	rng := mathx.NewRNG(*seed)
+	var net *nn.MLP
+	if *policyPath != "" {
+		var err error
+		if net, err = rl.LoadPolicyNet(*policyPath); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		net = abr.NewPensieveNet(rng, *levels)
+	}
+
+	cfg := serve.Config{Workers: *workers, MaxBatch: *batch, MaxWait: *wait, Seed: *seed}
+	eng := serve.NewEngine(serve.NewRegistry(net), cfg)
+	in := eng.InputSize()
+
+	// One shared feature pool: request cost must be serving, not generation.
+	feats := make([][]float64, 256)
+	for i := range feats {
+		feats[i] = make([]float64, in)
+		for j := range feats[i] {
+			feats[i][j] = rng.Uniform(-1, 1)
+		}
+	}
+
+	// Storm phase.
+	perClient := *n / *storm
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < *storm; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := eng.Select(feats[(g+i)%len(feats)]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st := eng.Stats()
+	eng.Close()
+
+	// Baseline phase: single-goroutine, single-request Predict (the
+	// pre-engine serving path: one allocation-heavy forward pass per chunk).
+	baseN := min(*n, 100_000)
+	bStart := time.Now()
+	for i := 0; i < baseN; i++ {
+		_ = mathx.ArgMax(net.Predict(feats[i%len(feats)]))
+	}
+	bWall := time.Since(bStart)
+
+	var r report
+	r.Config.Workers = st.Workers
+	r.Config.MaxBatch = *batch
+	r.Config.MaxWaitUs = float64(*wait) / float64(time.Microsecond)
+	r.Config.Storm = *storm
+	r.Config.Requests = perClient * *storm
+	r.Config.Arch = net.Sizes()
+	r.Config.Policy = *policyPath
+	r.Engine.Served = st.Served
+	r.Engine.Batches = st.Batches
+	r.Engine.AvgBatch = st.AvgBatch
+	r.Engine.WallSeconds = wall.Seconds()
+	r.Engine.ThroughputRPS = float64(st.Served) / wall.Seconds()
+	r.Engine.LatencyUs = st.Latency
+	r.Baseline.Requests = baseN
+	r.Baseline.ThroughputRPS = float64(baseN) / bWall.Seconds()
+	r.Speedup = r.Engine.ThroughputRPS / r.Baseline.ThroughputRPS
+
+	fmt.Printf("engine:   %.0f req/s over %d requests (workers=%d batch≤%d avg batch %.1f)\n",
+		r.Engine.ThroughputRPS, st.Served, st.Workers, *batch, st.AvgBatch)
+	fmt.Printf("latency:  %s (µs, enqueue→computed)\n", st.Latency)
+	fmt.Printf("baseline: %.0f req/s single-request Predict\n", r.Baseline.ThroughputRPS)
+	fmt.Printf("speedup:  %.2fx\n", r.Speedup)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fsx.WriteFileAtomic(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report:   %s\n", *jsonOut)
+	}
+}

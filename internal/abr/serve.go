@@ -1,0 +1,54 @@
+package abr
+
+import (
+	"fmt"
+
+	"advnet/internal/serve"
+)
+
+// PensieveServe is the production-serving twin of Pensieve: per-chunk
+// decisions go through a serve.Engine (lock-free snapshot registry, per-core
+// batch aggregation, hot reload) instead of a privately held policy network.
+// The decision function is identical — argmax of the policy net over
+// Features(o), clamped to the ladder — so a PensieveServe backed by a
+// snapshot of a policy makes bitwise the same choices as Pensieve holding
+// that policy directly.
+//
+// Unlike Pensieve, a single PensieveServe is safe for concurrent sessions:
+// the engine batches requests from any number of goroutines.
+type PensieveServe struct {
+	eng   *serve.Engine
+	label string
+}
+
+// NewPensieveServe wraps a running engine as an ABR protocol. The engine's
+// serving architecture must match FeatureSize(levels) of the sessions it will
+// drive; a mismatch surfaces as a panic on the first SelectLevel.
+func NewPensieveServe(eng *serve.Engine) *PensieveServe {
+	return &PensieveServe{eng: eng, label: "pensieve-serve"}
+}
+
+// Name implements Protocol.
+func (p *PensieveServe) Name() string { return p.label }
+
+// SetName overrides the reported protocol name.
+func (p *PensieveServe) SetName(s string) { p.label = s }
+
+// Reset implements Protocol (all serving state lives in the engine).
+func (p *PensieveServe) Reset() {}
+
+// Engine returns the backing engine (for stats, hot reload via its registry,
+// or shutdown).
+func (p *PensieveServe) Engine() *serve.Engine { return p.eng }
+
+// SelectLevel implements Protocol by submitting the observation's features to
+// the engine and clamping the batched-argmax decision to the ladder. An
+// engine error mid-session (closed engine, architecture drift) is a
+// deployment bug, not a recoverable protocol condition, so it panics.
+func (p *PensieveServe) SelectLevel(o *Observation) int {
+	d, err := p.eng.Select(Features(o))
+	if err != nil {
+		panic(fmt.Sprintf("abr: serving engine failed mid-session: %v", err))
+	}
+	return clampLevel(d.Level, o.Levels)
+}

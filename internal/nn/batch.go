@@ -18,6 +18,12 @@ import "fmt"
 // blocked matrix–matrix kernels (see gemm.go): same arithmetic, higher
 // throughput, but a different floating-point summation order, so results
 // agree with the per-sample path only to rounding (~1e-12 relative).
+//
+// Like Cache, a BatchCache is single-goroutine state: ForwardBatch and
+// BackwardBatch scribble over its activation matrices, so a cache must never
+// be shared between goroutines. Concurrent servers of one (read-only) MLP
+// each own a pre-sized BatchCache — that is exactly how internal/serve's
+// shard workers share a hot-reloaded policy net safely.
 type BatchCache struct {
 	capacity int
 	n        int  // rows in the last ForwardBatch
@@ -28,11 +34,33 @@ type BatchCache struct {
 	// drow[i] is a single-row backward scratch of width_i.
 	drow [][]float64
 	// GEMM-mode scratch (nil otherwise): wt[l] holds layer l's weights
-	// transposed (In×Out, refreshed each forward pass); dmat mirrors acts
-	// and holds the full backward gradient matrices.
+	// transposed (In×Out, refreshed each forward pass unless staticW); dmat
+	// mirrors acts and holds the full backward gradient matrices.
 	wt   [][]float64
 	dmat [][]float64
+	// staticW promises the network's weights do not change between forward
+	// passes, letting the GEMM mode reuse wt across passes; wtReady tracks
+	// whether wt currently holds the serving weights.
+	staticW bool
+	wtReady bool
 }
+
+// SetStaticWeights declares (on=true) that the network's weights will not
+// change between forward passes through this cache, so the GEMM mode may
+// transpose them once and reuse the result — the serving fast path, where
+// snapshots are immutable. The caller owns the promise: after mutating or
+// swapping the weights, call InvalidateWeights (or SetStaticWeights again)
+// before the next pass, or forwards will silently use the stale transpose.
+// No-op for non-GEMM caches, whose passes read the weights directly.
+func (c *BatchCache) SetStaticWeights(on bool) {
+	c.staticW = on
+	c.wtReady = false
+}
+
+// InvalidateWeights forces the next forward pass to re-transpose the
+// network's weights, picking up a mutation or snapshot swap under
+// SetStaticWeights(true).
+func (c *BatchCache) InvalidateWeights() { c.wtReady = false }
 
 // NewBatchCache returns a cache able to hold up to capacity samples.
 func (m *MLP) NewBatchCache(capacity int) *BatchCache {
@@ -79,6 +107,9 @@ func (c *BatchCache) GEMM() bool { return c.gemm }
 // the cache. No allocations.
 func (m *MLP) ForwardBatch(c *BatchCache, xs []float64, n int) []float64 {
 	in := m.InputSize()
+	if n <= 0 {
+		panic(fmt.Sprintf("nn: ForwardBatch with non-positive batch size %d", n))
+	}
 	if len(xs) < n*in {
 		panic(fmt.Sprintf("nn: ForwardBatch input has %d values, want %d", len(xs), n*in))
 	}

@@ -1,0 +1,75 @@
+//go:build amd64
+
+package nn
+
+// cpuidAsm executes CPUID with the given leaf and subleaf.
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads extended control register 0 (OS-enabled XSAVE state).
+func xgetbvAsm() (eax, edx uint32)
+
+// gemmKernelAsm computes y[j] = init[j] + Σ_{i<k} x[i]·m[i*o+j] for j in
+// [0,o) with AVX2 fused multiply-adds. All four pointers must reference at
+// least o (y, init) / k (x) / k*o (m) valid float64s; init may alias y.
+//
+//go:noescape
+func gemmKernelAsm(y, init, x, m *float64, k, o int)
+
+// useFMA gates the assembly GEMM kernel. It is a variable (not a constant)
+// so tests can force the portable path on FMA hardware; nothing else may
+// write it after init.
+var useFMA = cpuSupportsAVX2FMA()
+
+// cpuSupportsAVX2FMA reports whether the CPU and OS support the YMM state,
+// FMA, and AVX2 the assembly kernel needs.
+func cpuSupportsAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	// The OS must have enabled XMM and YMM state saving.
+	xcr0, _ := xgetbvAsm()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// gemmRowFMA is the per-row GEMM step on the assembly path: y = init + x·M
+// for one batch row (M is k×o row-major).
+func gemmRowFMA(y, init, x, m []float64, k, o int) {
+	gemmKernelAsm(&y[0], &init[0], &x[0], &m[0], k, o)
+}
+
+// vtanhAsm replaces p[0:n] with tanh of each element, four lanes at a time;
+// n must be a positive multiple of four. See vtanh_amd64.s for the algorithm
+// and its accuracy bound.
+//
+//go:noescape
+func vtanhAsm(p *float64, n int)
+
+// vtanh applies tanh elementwise with the vector kernel, padding the tail
+// through a stack buffer so every element goes through the same code path.
+// Callers must have checked useFMA.
+func vtanh(span []float64) {
+	n := len(span) &^ 3
+	if n > 0 {
+		vtanhAsm(&span[0], n)
+	}
+	if rem := len(span) - n; rem > 0 {
+		var buf [4]float64
+		copy(buf[:], span[n:])
+		vtanhAsm(&buf[0], 4)
+		copy(span[n:], buf[:rem])
+	}
+}

@@ -1,0 +1,192 @@
+// AVX2+FMA kernels for the GEMM batch mode. See fma_amd64.go for the
+// dispatch logic and fma_stub.go for the portable fallback.
+
+#include "textflag.h"
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gemmKernelAsm(y, init, x, m *float64, k, o int)
+//
+// Computes y[j] = init[j] + Σ_{i<k} x[i]·m[i·o+j] for j in [0,o), with every
+// multiply-add fused (one rounding per step, i ascending). The output column
+// range is tiled 32/8/4/2/1 doubles wide; each tile's accumulators live in
+// registers across the whole k reduction, so y and init are touched exactly
+// once per element while x and the m tile stream through the FMA units.
+TEXT ·gemmKernelAsm(SB), NOSPLIT, $0-48
+	MOVQ y+0(FP), DI
+	MOVQ init+8(FP), BX
+	MOVQ x+16(FP), SI
+	MOVQ m+24(FP), DX
+	MOVQ k+32(FP), CX
+	MOVQ o+40(FP), R8
+	SHLQ $3, R8          // m row stride in bytes
+	MOVQ R8, R13         // total output bytes
+	XORQ R9, R9          // j0: current output offset in bytes
+
+	TESTQ CX, CX
+	JZ    copyinit       // k == 0: y = init
+
+jtop:
+	MOVQ R13, AX
+	SUBQ R9, AX          // bytes remaining
+
+	CMPQ AX, $256
+	JGE  jblock32
+	CMPQ AX, $64
+	JGE  jblock8
+	CMPQ AX, $32
+	JGE  jblock4
+	CMPQ AX, $16
+	JGE  jblock2
+	CMPQ AX, $8
+	JGE  jblock1
+	VZEROUPPER
+	RET
+
+// 32 doubles per tile: 8 ymm accumulators.
+jblock32:
+	VMOVUPD (BX)(R9*1), Y0
+	VMOVUPD 32(BX)(R9*1), Y1
+	VMOVUPD 64(BX)(R9*1), Y2
+	VMOVUPD 96(BX)(R9*1), Y3
+	VMOVUPD 128(BX)(R9*1), Y4
+	VMOVUPD 160(BX)(R9*1), Y5
+	VMOVUPD 192(BX)(R9*1), Y6
+	VMOVUPD 224(BX)(R9*1), Y7
+	MOVQ SI, R10
+	LEAQ (DX)(R9*1), R11
+	MOVQ CX, R12
+
+iloop32:
+	VBROADCASTSD (R10), Y8
+	VFMADD231PD (R11), Y8, Y0
+	VFMADD231PD 32(R11), Y8, Y1
+	VFMADD231PD 64(R11), Y8, Y2
+	VFMADD231PD 96(R11), Y8, Y3
+	VFMADD231PD 128(R11), Y8, Y4
+	VFMADD231PD 160(R11), Y8, Y5
+	VFMADD231PD 192(R11), Y8, Y6
+	VFMADD231PD 224(R11), Y8, Y7
+	ADDQ $8, R10
+	ADDQ R8, R11
+	DECQ R12
+	JNZ  iloop32
+
+	VMOVUPD Y0, (DI)(R9*1)
+	VMOVUPD Y1, 32(DI)(R9*1)
+	VMOVUPD Y2, 64(DI)(R9*1)
+	VMOVUPD Y3, 96(DI)(R9*1)
+	VMOVUPD Y4, 128(DI)(R9*1)
+	VMOVUPD Y5, 160(DI)(R9*1)
+	VMOVUPD Y6, 192(DI)(R9*1)
+	VMOVUPD Y7, 224(DI)(R9*1)
+	ADDQ $256, R9
+	JMP  jtop
+
+// 8 doubles per tile: 2 ymm accumulators.
+jblock8:
+	VMOVUPD (BX)(R9*1), Y0
+	VMOVUPD 32(BX)(R9*1), Y1
+	MOVQ SI, R10
+	LEAQ (DX)(R9*1), R11
+	MOVQ CX, R12
+
+iloop8:
+	VBROADCASTSD (R10), Y8
+	VFMADD231PD (R11), Y8, Y0
+	VFMADD231PD 32(R11), Y8, Y1
+	ADDQ $8, R10
+	ADDQ R8, R11
+	DECQ R12
+	JNZ  iloop8
+
+	VMOVUPD Y0, (DI)(R9*1)
+	VMOVUPD Y1, 32(DI)(R9*1)
+	ADDQ $64, R9
+	JMP  jtop
+
+// 4 doubles per tile: 1 ymm accumulator.
+jblock4:
+	VMOVUPD (BX)(R9*1), Y0
+	MOVQ SI, R10
+	LEAQ (DX)(R9*1), R11
+	MOVQ CX, R12
+
+iloop4:
+	VBROADCASTSD (R10), Y8
+	VFMADD231PD (R11), Y8, Y0
+	ADDQ $8, R10
+	ADDQ R8, R11
+	DECQ R12
+	JNZ  iloop4
+
+	VMOVUPD Y0, (DI)(R9*1)
+	ADDQ $32, R9
+	JMP  jtop
+
+// 2 doubles per tile: 1 xmm accumulator.
+jblock2:
+	VMOVUPD (BX)(R9*1), X0
+	MOVQ SI, R10
+	LEAQ (DX)(R9*1), R11
+	MOVQ CX, R12
+
+iloop2:
+	VMOVDDUP (R10), X8
+	VFMADD231PD (R11), X8, X0
+	ADDQ $8, R10
+	ADDQ R8, R11
+	DECQ R12
+	JNZ  iloop2
+
+	VMOVUPD X0, (DI)(R9*1)
+	ADDQ $16, R9
+	JMP  jtop
+
+// 1 double: scalar FMA.
+jblock1:
+	VMOVSD (BX)(R9*1), X0
+	MOVQ SI, R10
+	LEAQ (DX)(R9*1), R11
+	MOVQ CX, R12
+
+iloop1:
+	VMOVSD (R10), X8
+	VFMADD231SD (R11), X8, X0
+	ADDQ $8, R10
+	ADDQ R8, R11
+	DECQ R12
+	JNZ  iloop1
+
+	VMOVSD X0, (DI)(R9*1)
+	ADDQ $8, R9
+	JMP  jtop
+
+// k == 0 degenerate case: the sum is empty, y is just init.
+copyinit:
+	CMPQ R9, R13
+	JGE  copydone
+	MOVQ (BX)(R9*1), AX
+	MOVQ AX, (DI)(R9*1)
+	ADDQ $8, R9
+	JMP  copyinit
+
+copydone:
+	RET

@@ -1,15 +1,23 @@
 package nn
 
-import "advnet/internal/mathx"
+import (
+	"math"
+
+	"advnet/internal/mathx"
+)
 
 // Blocked matrix–matrix kernels for the BatchCache GEMM mode. The row-at-a-
 // time ForwardBatch/BackwardBatch repeat a latency-bound dot product per
 // output neuron per sample; the kernels here restructure the same arithmetic
 // as cache-blocked GEMMs whose inner loops run over contiguous output slices
 // with no loop-carried dependence, so the CPU can overlap the multiply-adds.
-// The price is a different floating-point summation order: results match the
-// per-sample path to ~1e-12 relative error, not bitwise (see
-// TestGEMMMatchesPerSample), which is why the mode is opt-in.
+// On amd64 with AVX2+FMA the inner product additionally runs through the
+// fused-multiply-add assembly kernel in fma_amd64.s (register-tiled output
+// columns, one rounding per multiply-add). The price is a different
+// floating-point summation order — and, with the assembly kernel, one that
+// depends on the hardware: results match the per-sample path to ~1e-12
+// relative error, not bitwise (see TestGEMMMatchesPerSample), which is why
+// the mode is opt-in.
 
 // Block sizes for the GEMM kernels: rows of the batch per block and
 // reduction-dimension slice per block. Sized so one block's operands (a
@@ -21,10 +29,19 @@ const (
 	gemmBlockK = 128
 )
 
-// gemmAdd computes Y += X·M for row-major X (n×k), M (k×o) and Y (n×o),
-// blocked over rows and the reduction dimension, with the reduction unrolled
-// four-wide so the inner loop keeps four independent accumulation streams.
+// gemmAdd computes Y += X·M for row-major X (n×k), M (k×o) and Y (n×o). On
+// FMA hardware each row runs through the assembly kernel; the portable path
+// is blocked over rows and the reduction dimension, with the reduction
+// unrolled four-wide so the inner loop keeps four independent accumulation
+// streams.
 func gemmAdd(x, m, y []float64, n, k, o int) {
+	if useFMA && k > 0 && o > 0 {
+		for r := 0; r < n; r++ {
+			yrow := y[r*o : (r+1)*o]
+			gemmRowFMA(yrow, yrow, x[r*k:(r+1)*k], m, k, o)
+		}
+		return
+	}
 	for r0 := 0; r0 < n; r0 += gemmBlockR {
 		r1 := r0 + gemmBlockR
 		if r1 > n {
@@ -75,23 +92,63 @@ func transposeInto(w, wt []float64, out, in int) {
 // forwardBatchGEMM is the matrix-matrix form of ForwardBatch's layer loop:
 // for each layer it materializes Wᵀ into the cache's scratch (weights change
 // between minibatches, so the transpose is refreshed per pass — O(In·Out)
-// against the O(n·In·Out) multiply it unlocks) and computes Y = X·Wᵀ + B in
-// one blocked kernel, then applies the hidden activation in place.
+// against the O(n·In·Out) multiply it unlocks — unless the cache has been
+// marked static, see SetStaticWeights) and computes Y = X·Wᵀ + B, then
+// applies the hidden activation in place. On FMA hardware the bias
+// initialization rides inside the assembly kernel; the portable path
+// materializes bias rows first and adds with the blocked kernel.
 func (m *MLP) forwardBatchGEMM(c *BatchCache, n int) []float64 {
+	refresh := !c.staticW || !c.wtReady
 	for li, l := range m.layers {
-		transposeInto(l.W, c.wt[li], l.Out, l.In)
-		ym := c.acts[li+1]
-		for r := 0; r < n; r++ {
-			copy(ym[r*l.Out:(r+1)*l.Out], l.B)
+		if refresh {
+			transposeInto(l.W, c.wt[li], l.Out, l.In)
 		}
-		gemmAdd(c.acts[li], c.wt[li], ym, n, l.In, l.Out)
-		if li < len(m.layers)-1 {
-			for j, v := range ym[:n*l.Out] {
-				ym[j] = m.hidden.apply(v)
+		xm, ym := c.acts[li], c.acts[li+1]
+		if useFMA && l.In > 0 && l.Out > 0 {
+			for r := 0; r < n; r++ {
+				gemmRowFMA(ym[r*l.Out:(r+1)*l.Out], l.B, xm[r*l.In:(r+1)*l.In], c.wt[li], l.In, l.Out)
 			}
+		} else {
+			for r := 0; r < n; r++ {
+				copy(ym[r*l.Out:(r+1)*l.Out], l.B)
+			}
+			gemmAdd(xm, c.wt[li], ym, n, l.In, l.Out)
+		}
+		if li < len(m.layers)-1 {
+			applyActivation(m.hidden, ym[:n*l.Out])
 		}
 	}
+	c.wtReady = true
 	return c.acts[len(m.layers)][:n*m.OutputSize()]
+}
+
+// applyActivation applies act elementwise with the per-element switch
+// dispatch hoisted out of the loop. On AVX2+FMA hardware the Tanh case uses
+// the vectorized kernel, which agrees with math.Tanh to a few ulps — like
+// the FMA GEMM kernel, within the GEMM mode's documented 1e-9 tolerance but
+// not bitwise. Every other case is bitwise identical to act.apply.
+func applyActivation(act Activation, span []float64) {
+	switch act {
+	case Tanh:
+		if useFMA {
+			vtanh(span)
+			return
+		}
+		for j, v := range span {
+			span[j] = math.Tanh(v)
+		}
+	case ReLU:
+		for j, v := range span {
+			if v < 0 {
+				span[j] = 0
+			}
+		}
+	case Identity:
+	default:
+		for j, v := range span {
+			span[j] = act.apply(v)
+		}
+	}
 }
 
 // accumGradGEMM folds one layer's batch into its parameter gradients:

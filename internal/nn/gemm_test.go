@@ -143,6 +143,56 @@ func TestGEMMZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestStaticWeightsReuseAndInvalidate pins the SetStaticWeights contract: a
+// static GEMM cache keeps serving the transposed weights it captured — even
+// after the network mutates — until InvalidateWeights, after which the next
+// pass picks up the new weights.
+func TestStaticWeightsReuseAndInvalidate(t *testing.T) {
+	rng := mathx.NewRNG(97)
+	m := NewMLP(rng, []int{4, 8, 3}, Tanh)
+	const n = 4
+	c := m.NewBatchCacheGEMM(n)
+	c.SetStaticWeights(true)
+	xs := makeBatch(rng, n, 4)
+
+	before := append([]float64(nil), m.ForwardBatch(c, xs, n)...)
+
+	// Mutate the weights. The static cache must still serve the old
+	// transpose (that is the documented hazard the caller owns)...
+	for _, l := range m.layers {
+		for i := range l.W {
+			l.W[i] += 0.5
+		}
+	}
+	stale := m.ForwardBatch(c, xs, n)
+	for i := range before {
+		if stale[i] != before[i] {
+			t.Fatalf("static cache re-read mutated weights at out[%d]: %v vs %v", i, stale[i], before[i])
+		}
+	}
+
+	// ...and InvalidateWeights must pick the mutation up, matching a fresh
+	// cache exactly.
+	c.InvalidateWeights()
+	got := m.ForwardBatch(c, xs, n)
+	want := m.ForwardBatch(m.NewBatchCacheGEMM(n), xs, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("invalidated cache differs from fresh cache at out[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Non-GEMM caches read weights directly; the flag must be a no-op.
+	r := m.NewBatchCache(n)
+	r.SetStaticWeights(true)
+	rowsGot := m.ForwardBatch(r, xs, n)
+	rowsWant := m.ForwardBatch(m.NewBatchCache(n), xs, n)
+	for i := range rowsWant {
+		if rowsGot[i] != rowsWant[i] {
+			t.Fatalf("rows cache affected by SetStaticWeights at out[%d]", i)
+		}
+	}
+}
+
 // TestGEMMModeFlag: default caches report GEMM off and stay bitwise; GEMM
 // caches report the mode on.
 func TestGEMMModeFlag(t *testing.T) {

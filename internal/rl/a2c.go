@@ -122,9 +122,11 @@ func (a *A2C) TrainIteration(env Env) IterStats {
 			sumPolicyLoss += -logp * s.advantage
 			sumEntropy += ent
 
-			v, cache := a.Value.Forward(s.obs)
-			diff := v[0] - s.ret
-			a.Value.Backward(cache, []float64{a.cfg.ValueCoef * diff})
+			cache := a.Value.AcquireCache()
+			diff := a.Value.ForwardInto(cache, s.obs)[0] - s.ret
+			dv := [1]float64{a.cfg.ValueCoef * diff}
+			a.Value.BackwardInto(cache, dv[:])
+			a.Value.ReleaseCache(cache)
 			// Report the optimized quantity: ValueCoef scales the stat too.
 			sumValueLoss += a.cfg.ValueCoef * 0.5 * diff * diff
 		}

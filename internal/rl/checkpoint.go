@@ -257,6 +257,12 @@ func validateAdamState(st nn.AdamState, params [][]float64, which string) error 
 	return nil
 }
 
+// envelopeDigest returns the hex sha256 digest of an envelope payload.
+func envelopeDigest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
 // writeCheckpoint marshals payload into an integrity-checked envelope and
 // writes it atomically.
 func writeCheckpoint(path, kind string, payload any) error {
@@ -264,11 +270,10 @@ func writeCheckpoint(path, kind string, payload any) error {
 	if err != nil {
 		return err
 	}
-	sum := sha256.Sum256(data)
 	env := checkpointEnvelope{
 		Version: CheckpointVersion,
 		Kind:    kind,
-		SHA256:  hex.EncodeToString(sum[:]),
+		SHA256:  envelopeDigest(data),
 		Payload: data,
 	}
 	out, err := json.Marshal(&env)
@@ -295,8 +300,7 @@ func readCheckpoint(path, kind string) ([]byte, error) {
 	if env.Kind != kind {
 		return nil, fmt.Errorf("rl: checkpoint %s: kind %q, want %q", path, env.Kind, kind)
 	}
-	sum := sha256.Sum256(env.Payload)
-	if hex.EncodeToString(sum[:]) != env.SHA256 {
+	if envelopeDigest(env.Payload) != env.SHA256 {
 		return nil, fmt.Errorf("rl: checkpoint %s: integrity check failed (corrupt or truncated payload)", path)
 	}
 	return env.Payload, nil

@@ -1,0 +1,170 @@
+package rl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// netsEqual reports bitwise parameter equality.
+func netsEqual(a, b *nn.MLP) bool {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if len(pa[i]) != len(pb[i]) {
+			return false
+		}
+		for j := range pa[i] {
+			if pa[i][j] != pb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSaveLoadPolicyNetRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	net := nn.NewMLP(rng, []int{7, 16, 4}, nn.Tanh)
+	path := filepath.Join(t.TempDir(), "policy.json")
+	if err := SavePolicyNet(path, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPolicyNet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !netsEqual(net, got) {
+		t.Fatal("round-tripped policy net differs")
+	}
+}
+
+func TestLoadPolicyNetDetectsCorruption(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	net := nn.NewMLP(rng, []int{4, 8, 2}, nn.ReLU)
+	path := filepath.Join(t.TempDir(), "policy.json")
+	if err := SavePolicyNet(path, net); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload digit. The envelope stays valid JSON, so only the
+	// sha256 check can catch it.
+	for i := range data {
+		if data[i] == '7' {
+			data[i] = '8'
+			break
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicyNet(path); err == nil {
+		t.Fatal("corrupt policy envelope loaded without error")
+	}
+}
+
+func TestLoadPolicyNetFromBareMLPJSON(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	net := nn.NewMLP(rng, []int{5, 6, 3}, nn.Tanh)
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPolicyNet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !netsEqual(net, got) {
+		t.Fatal("bare MLP JSON load differs")
+	}
+}
+
+// TestLoadPolicyNetFromTrainerCheckpoints trains each trainer kind briefly,
+// checkpoints it, and verifies the extracted policy net is bitwise the live
+// trainer's — the handoff a serving fleet performs against a CheckpointDir.
+func TestLoadPolicyNetFromTrainerCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+
+	build := func(seed uint64) (*CategoricalPolicy, *nn.MLP, *mathx.RNG) {
+		rng := mathx.NewRNG(seed)
+		policy := NewCategoricalPolicy(nn.NewMLP(rng, []int{1, 8, 2}, nn.Tanh))
+		value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+		return policy, value, rng
+	}
+
+	t.Run("ppo", func(t *testing.T) {
+		policy, value, rng := build(13)
+		cfg := DefaultPPOConfig()
+		cfg.RolloutSteps = 64
+		ppo, err := NewPPO(policy, value, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := &banditEnv{rewards: []float64{0, 1}}
+		ppo.TrainIteration(env)
+		path := filepath.Join(dir, "ppo.json")
+		if err := ppo.SaveCheckpoint(path, nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadPolicyNet(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !netsEqual(policy.Net(), got) {
+			t.Fatal("extracted PPO policy net differs from trainer's")
+		}
+	})
+
+	t.Run("a2c", func(t *testing.T) {
+		policy, value, rng := build(19)
+		cfg := DefaultA2CConfig()
+		cfg.RolloutSteps = 64
+		a2c, err := NewA2C(policy, value, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := &banditEnv{rewards: []float64{1, 0}}
+		a2c.TrainIteration(env)
+		path := filepath.Join(dir, "a2c.json")
+		if err := a2c.SaveCheckpoint(path, nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadPolicyNet(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !netsEqual(policy.Net(), got) {
+			t.Fatal("extracted A2C policy net differs from trainer's")
+		}
+	})
+}
+
+func TestExportPolicyNet(t *testing.T) {
+	dir := t.TempDir()
+	rng := mathx.NewRNG(29)
+	net := nn.NewMLP(rng, []int{4, 6, 3}, nn.Tanh)
+	src := filepath.Join(dir, "bare.json")
+	if err := net.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "exported.json")
+	exported, err := ExportPolicyNet(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadPolicyNet(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !netsEqual(net, exported) || !netsEqual(net, reloaded) {
+		t.Fatal("exported policy net differs")
+	}
+}

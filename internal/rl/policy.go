@@ -165,7 +165,7 @@ func (p *CategoricalPolicy) Sample(rng *mathx.RNG, obs []float64) ([]float64, fl
 
 // Mode returns the argmax action.
 func (p *CategoricalPolicy) Mode(obs []float64) []float64 {
-	return []float64{float64(mathx.ArgMax(p.net.Predict(obs)))}
+	return []float64{float64(mathx.ArgMax(p.net.PredictInto(p.cache, obs)))}
 }
 
 // LogProb returns the log-probability of the given action index.
@@ -188,7 +188,9 @@ func (p *CategoricalPolicy) Entropy(obs []float64) float64 {
 
 // Backward implements Policy.
 func (p *CategoricalPolicy) Backward(obs, action []float64, wLogp, wEnt float64) (float64, float64) {
-	logits, cache := p.net.Forward(obs)
+	cache := p.net.AcquireCache()
+	defer p.net.ReleaseCache(cache)
+	logits := p.net.ForwardInto(cache, obs)
 	probs := make([]float64, len(logits))
 	mathx.Softmax(logits, probs)
 	a := int(action[0])
@@ -216,7 +218,7 @@ func (p *CategoricalPolicy) Backward(obs, action []float64, wLogp, wEnt float64)
 		}
 		dLogits[j] = wLogp*dLogp + wEnt*dEnt
 	}
-	p.net.Backward(cache, dLogits)
+	p.net.BackwardInto(cache, dLogits)
 	return logp, h
 }
 
@@ -402,7 +404,7 @@ func (p *GaussianPolicy) Sample(rng *mathx.RNG, obs []float64) ([]float64, float
 // Mode returns the distribution mean (the noise-free action the paper plots
 // in Figure 6).
 func (p *GaussianPolicy) Mode(obs []float64) []float64 {
-	return mathx.CopyOf(p.net.Predict(obs))
+	return mathx.CopyOf(p.net.PredictInto(p.cache, obs))
 }
 
 // LogProb returns the log-density of action under the current parameters.
@@ -429,7 +431,9 @@ func (p *GaussianPolicy) Entropy(_ []float64) float64 {
 
 // Backward implements Policy.
 func (p *GaussianPolicy) Backward(obs, action []float64, wLogp, wEnt float64) (float64, float64) {
-	mean, cache := p.net.Forward(obs)
+	cache := p.net.AcquireCache()
+	defer p.net.ReleaseCache(cache)
+	mean := p.net.ForwardInto(cache, obs)
 	logp := 0.0
 	dMean := make([]float64, p.dim)
 	for i := 0; i < p.dim; i++ {
@@ -446,7 +450,7 @@ func (p *GaussianPolicy) Backward(obs, action []float64, wLogp, wEnt float64) (f
 			p.gLogStd[i] += wLogp*(z*z-1) + wEnt
 		}
 	}
-	p.net.Backward(cache, dMean)
+	p.net.BackwardInto(cache, dMean)
 	return logp, p.Entropy(obs)
 }
 

@@ -325,9 +325,11 @@ func (p *PPO) update(stats *IterStats) {
 
 					// Value term: c_V·0.5·(V(s) − ret)², reported with the
 					// same ValueCoef scaling the gradient uses.
-					v, cache := p.Value.Forward(s.obs)
-					diff := v[0] - s.ret
-					p.Value.Backward(cache, []float64{p.cfg.ValueCoef * diff})
+					cache := p.Value.AcquireCache()
+					diff := p.Value.ForwardInto(cache, s.obs)[0] - s.ret
+					dv := [1]float64{p.cfg.ValueCoef * diff}
+					p.Value.BackwardInto(cache, dv[:])
+					p.Value.ReleaseCache(cache)
 					sumValueLoss += p.cfg.ValueCoef * 0.5 * diff * diff
 				}
 			}

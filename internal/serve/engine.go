@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/stats"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of shard workers, each owning one request queue
+	// and one pre-sized batch cache. Production sizing is one per core
+	// (default: GOMAXPROCS).
+	Workers int
+	// MaxBatch is the flush threshold and the capacity of each worker's
+	// batch cache (default 32). A full batch flushes immediately.
+	MaxBatch int
+	// MaxWait bounds how long a worker holds a partial batch open waiting
+	// for more requests before flushing — the serving latency it will trade
+	// for batching density. Zero means the 100µs default; negative flushes
+	// partial batches immediately (opportunistic batching only).
+	MaxWait time.Duration
+	// QueueDepth is each worker's bounded request-queue capacity (default
+	// 4×MaxBatch). A full queue applies backpressure by blocking Select.
+	QueueDepth int
+	// NoGEMM switches the workers from the blocked GEMM kernels to the
+	// bitwise row-at-a-time batch path (for equivalence testing; GEMM is the
+	// production default).
+	NoGEMM bool
+	// LatencySample records enqueue→computed latency for one in every
+	// LatencySample requests (default 8; 1 records every request). Sampling
+	// keeps two clock reads per request off the hot path; the reservoirs
+	// behind Stats subsample anyway, so the percentile summary loses nothing.
+	LatencySample int
+	// Seed seeds the per-worker latency reservoirs (default 1).
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	} else if c.MaxWait == 0 {
+		c.MaxWait = 100 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.LatencySample <= 0 {
+		c.LatencySample = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ErrClosed is returned by Select after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Decision is the result of one inference request.
+type Decision struct {
+	// Level is the argmax output index — for a Pensieve-style categorical
+	// policy net, the deterministic (Mode) action.
+	Level int
+	// Snapshot is the id of the snapshot that produced the decision. Every
+	// request in a batch is answered by exactly one snapshot.
+	Snapshot uint64
+}
+
+// request is one in-flight inference request. Requests are pooled and their
+// done channel is reused, so the steady-state request path allocates
+// nothing. in aliases the caller's feature slice — safe because the caller
+// blocks in Select until the worker has staged the features and answered —
+// and is cleared before the request returns to the pool.
+type request struct {
+	in    []float64 // caller's features, aliased for the batch copy
+	level int
+	snap  uint64
+	start time.Time     // zero unless this request was latency-sampled
+	done  chan struct{} // capacity 1, signaled exactly once per dispatch
+}
+
+// shard is one worker's private state: a bounded MPSC queue (any goroutine
+// produces, only this worker consumes) plus everything the flush loop needs,
+// none of it shared.
+type shard struct {
+	q        chan *request
+	batch    []*request // gathered requests, len MaxBatch
+	xs       []float64  // staging matrix, MaxBatch×in
+	cache    *nn.BatchCache
+	lastSnap *Snapshot // the snapshot cache's static weight transpose is for
+	timer    *time.Timer
+
+	lat     *stats.Reservoir // flush latency (enqueue→computed), microseconds
+	served  atomic.Uint64
+	batches atomic.Uint64
+}
+
+// Engine serves inference requests against the registry's current snapshot
+// with per-core batch aggregation: requests are round-robined onto N shard
+// workers, each of which gathers up to MaxBatch requests (waiting at most
+// MaxWait) and answers them with one batched forward pass. The worker loop
+// and the Select request path are allocation-free in steady state.
+type Engine struct {
+	reg *Registry
+	cfg Config
+	in  int
+	out int
+
+	shards []*shard
+	rr     atomic.Uint64
+	pool   sync.Pool
+
+	mu     sync.RWMutex // guards closed vs in-flight Selects
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewEngine starts Workers shard workers serving reg's current snapshot.
+// The engine sizes every worker's batch cache for the registry's serving
+// architecture once, up front — valid forever because the registry rejects
+// architecture-changing publishes.
+func NewEngine(reg *Registry, cfg Config) *Engine {
+	if reg == nil {
+		panic("serve: NewEngine with nil registry")
+	}
+	cfg = cfg.withDefaults()
+	snap := reg.Current()
+	e := &Engine{
+		reg:  reg,
+		cfg:  cfg,
+		in:   snap.Net().InputSize(),
+		out:  snap.Net().OutputSize(),
+		stop: make(chan struct{}),
+	}
+	e.pool.New = func() any {
+		return &request{done: make(chan struct{}, 1)}
+	}
+	e.shards = make([]*shard, cfg.Workers)
+	for i := range e.shards {
+		var cache *nn.BatchCache
+		if cfg.NoGEMM {
+			cache = snap.Net().NewBatchCache(cfg.MaxBatch)
+		} else {
+			cache = snap.Net().NewBatchCacheGEMM(cfg.MaxBatch)
+		}
+		// Snapshots are immutable, so each worker's cache can keep its
+		// weight transpose across batches; flush invalidates it on swap.
+		cache.SetStaticWeights(true)
+		t := time.NewTimer(time.Hour)
+		stopTimer(t)
+		e.shards[i] = &shard{
+			q:     make(chan *request, cfg.QueueDepth),
+			batch: make([]*request, cfg.MaxBatch),
+			xs:    make([]float64, cfg.MaxBatch*e.in),
+			cache: cache,
+			timer: t,
+			lat:   stats.NewReservoir(0, cfg.Seed+uint64(i)),
+		}
+		e.wg.Add(1)
+		go e.worker(e.shards[i])
+	}
+	return e
+}
+
+// InputSize returns the feature-vector size the engine serves.
+func (e *Engine) InputSize() int { return e.in }
+
+// OutputSize returns the policy net's output dimension.
+func (e *Engine) OutputSize() int { return e.out }
+
+// Select answers one inference request: it enqueues a pooled request on a
+// shard and blocks until the shard's batched forward pass answers it. The
+// features slice is read by the worker while the caller blocks, so callers
+// must not mutate it concurrently from another goroutine. Safe for any
+// number of concurrent callers; a full shard queue blocks (backpressure)
+// rather than dropping. Steady state allocates nothing.
+func (e *Engine) Select(features []float64) (Decision, error) {
+	if len(features) != e.in {
+		return Decision{}, fmt.Errorf("serve: Select with %d features, serving architecture wants %d", len(features), e.in)
+	}
+	req := e.pool.Get().(*request)
+	req.in = features
+	seq := e.rr.Add(1)
+	if seq%uint64(e.cfg.LatencySample) == 0 {
+		req.start = time.Now()
+	} else {
+		req.start = time.Time{}
+	}
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		req.in = nil
+		e.pool.Put(req)
+		return Decision{}, ErrClosed
+	}
+	sh := e.shards[seq%uint64(len(e.shards))]
+	sh.q <- req
+	e.mu.RUnlock()
+
+	<-req.done
+	d := Decision{Level: req.level, Snapshot: req.snap}
+	req.in = nil
+	e.pool.Put(req)
+	return d, nil
+}
+
+// worker is one shard's serving loop.
+func (e *Engine) worker(sh *shard) {
+	defer e.wg.Done()
+	for {
+		select {
+		case req := <-sh.q:
+			e.gather(sh, req)
+		case <-e.stop:
+			// Answer everything already enqueued, then exit. Close
+			// guarantees no new requests arrive after stop closes.
+			for {
+				select {
+				case req := <-sh.q:
+					e.gather(sh, req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather assembles a batch starting from first: it drains whatever is
+// already queued, then holds the partial batch open for up to MaxWait, and
+// flushes at MaxBatch or when the window expires.
+func (e *Engine) gather(sh *shard, first *request) {
+	sh.batch[0] = first
+	n := 1
+	max := e.cfg.MaxBatch
+	for n < max {
+		select {
+		case r := <-sh.q:
+			sh.batch[n] = r
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n < max && e.cfg.MaxWait > 0 {
+		sh.timer.Reset(e.cfg.MaxWait)
+		open := true
+		for open && n < max {
+			select {
+			case r := <-sh.q:
+				sh.batch[n] = r
+				n++
+			case <-sh.timer.C:
+				open = false
+			}
+		}
+		if open {
+			stopTimer(sh.timer)
+		}
+	}
+	e.flush(sh, n)
+}
+
+// flush answers batch[:n] with one batched forward pass against exactly one
+// snapshot. Zero allocations.
+func (e *Engine) flush(sh *shard, n int) {
+	snap := e.reg.Current()
+	if snap != sh.lastSnap {
+		sh.cache.InvalidateWeights()
+		sh.lastSnap = snap
+	}
+	net := snap.Net()
+	for i := 0; i < n; i++ {
+		copy(sh.xs[i*e.in:(i+1)*e.in], sh.batch[i].in)
+	}
+	out := net.ForwardBatch(sh.cache, sh.xs, n)
+	var now time.Time
+	for i := 0; i < n; i++ {
+		req := sh.batch[i]
+		req.level = mathx.ArgMax(out[i*e.out : (i+1)*e.out])
+		req.snap = snap.ID()
+		if !req.start.IsZero() { // latency-sampled request
+			if now.IsZero() {
+				now = time.Now()
+			}
+			sh.lat.Add(float64(now.Sub(req.start)) / float64(time.Microsecond))
+		}
+		sh.batch[i] = nil
+		req.done <- struct{}{}
+	}
+	sh.served.Add(uint64(n))
+	sh.batches.Add(1)
+}
+
+// stopTimer stops t and drains a pending fire, leaving it safe to Reset.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// Close stops accepting requests, answers everything already enqueued, and
+// waits for the workers to exit. Idempotent; concurrent Selects either
+// complete normally or return ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	// At this point no Select holds the read lock, so every accepted
+	// request is already in a queue; the workers drain them after stop.
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// Served returns the total number of requests answered. Safe to call
+// concurrently with serving.
+func (e *Engine) Served() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.served.Load()
+	}
+	return n
+}
+
+// Batches returns the total number of batched forward passes. Safe to call
+// concurrently with serving; Served()/Batches() is the realized batching
+// density.
+func (e *Engine) Batches() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.batches.Load()
+	}
+	return n
+}
+
+// EngineStats is a point-in-time digest of the engine's serving counters and
+// latency distribution.
+type EngineStats struct {
+	Served   uint64        `json:"served"`
+	Batches  uint64        `json:"batches"`
+	AvgBatch float64       `json:"avg_batch"`
+	Workers  int           `json:"workers"`
+	Snapshot uint64        `json:"snapshot"`
+	Latency  stats.Summary `json:"latency_us"` // enqueue→computed, µs
+}
+
+// Stats digests the serving counters and per-shard latency reservoirs. The
+// latency summary covers the 1-in-LatencySample requests that carried a
+// timestamp (its Count is the sampled count, not Served), and reads
+// worker-owned reservoirs, so call it only at quiescence — after Close, or
+// when no requests are in flight (between load phases). The counter
+// accessors (Served, Batches) are always safe.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Served:   e.Served(),
+		Batches:  e.Batches(),
+		Workers:  len(e.shards),
+		Snapshot: e.reg.Current().ID(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(st.Served) / float64(st.Batches)
+	}
+	rs := make([]*stats.Reservoir, len(e.shards))
+	for i, sh := range e.shards {
+		rs[i] = sh.lat
+	}
+	st.Latency = stats.Summarize(rs...)
+	return st
+}

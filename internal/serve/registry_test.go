@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+)
+
+func TestRegistryPublishAndCurrent(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	net := nn.NewMLP(rng, []int{4, 8, 3}, nn.Tanh)
+	reg := NewRegistry(net)
+
+	first := reg.Current()
+	if first.ID() != 1 || first.Source() != "initial" {
+		t.Fatalf("initial snapshot id=%d source=%q", first.ID(), first.Source())
+	}
+
+	// The registry serves a clone: mutating the caller's net must not leak
+	// into the published snapshot.
+	net.Params()[0][0] = 12345
+	if first.Net().Params()[0][0] == 12345 {
+		t.Fatal("published snapshot aliases the caller's network")
+	}
+
+	next := nn.NewMLP(rng, []int{4, 8, 3}, nn.Tanh)
+	snap, err := reg.Publish(next, "iter-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID() != 2 || reg.Current() != snap {
+		t.Fatalf("publish did not swap: id=%d", snap.ID())
+	}
+}
+
+func TestRegistryRejectsArchMismatch(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	reg := NewRegistry(nn.NewMLP(rng, []int{4, 8, 3}, nn.Tanh))
+	old := reg.Current()
+
+	_, err := reg.Publish(nn.NewMLP(rng, []int{4, 16, 3}, nn.Tanh), "bad")
+	var mismatch *ArchMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("error %v, want *ArchMismatchError", err)
+	}
+	if mismatch.Want[1] != 8 || mismatch.Got[1] != 16 {
+		t.Fatalf("mismatch detail %v vs %v", mismatch.Want, mismatch.Got)
+	}
+	if reg.Current() != old {
+		t.Fatal("rejected publish displaced the serving snapshot")
+	}
+}
+
+func TestRegistryReloadFile(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	serving := nn.NewMLP(rng, []int{4, 8, 3}, nn.Tanh)
+	reg := NewRegistry(serving)
+	dir := t.TempDir()
+
+	// A fresh net of the same architecture, via the integrity-checked
+	// policy envelope.
+	path := filepath.Join(dir, "policy.json")
+	fresh := nn.NewMLP(rng, []int{4, 8, 3}, nn.Tanh)
+	if err := rl.SavePolicyNet(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := reg.ReloadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Source() != path || reg.Current() != snap {
+		t.Fatal("reload did not publish the file snapshot")
+	}
+	if snap.Net().Params()[0][0] != fresh.Params()[0][0] {
+		t.Fatal("reloaded weights differ from the file's")
+	}
+
+	// Corrupt file: error, old snapshot keeps serving.
+	if err := os.WriteFile(path, []byte(`{"version":1,"kind":"policy","sha256":"00","payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.ReloadFile(path); err == nil {
+		t.Fatal("corrupt reload succeeded")
+	}
+	if reg.Current() != snap {
+		t.Fatal("corrupt reload displaced the serving snapshot")
+	}
+
+	// Architecture change on disk: typed error, old snapshot keeps serving.
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := rl.SavePolicyNet(wrong, nn.NewMLP(rng, []int{5, 8, 3}, nn.Tanh)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = reg.ReloadFile(wrong)
+	var mismatch *ArchMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("error %v, want *ArchMismatchError", err)
+	}
+	if reg.Current() != snap {
+		t.Fatal("mismatched reload displaced the serving snapshot")
+	}
+}

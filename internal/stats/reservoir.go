@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"advnet/internal/mathx"
+)
+
+// Reservoir is a fixed-memory streaming sample for percentile estimation
+// over unbounded streams (Vitter's Algorithm R), plus exact running count,
+// sum, min, and max. It is the latency substrate of the serving engine: a
+// shard worker Adds one observation per request forever, in O(1) time and
+// zero allocations, and Quantile answers p50/p95/p99 queries from the
+// retained sample at any point.
+//
+// A Reservoir is single-goroutine state, like the nn caches it sits next to:
+// each serving shard owns one, and cross-shard views are computed with
+// MergedQuantile / MergeSummaries rather than by sharing.
+type Reservoir struct {
+	vals  []float64 // retained sample, len == min(n, cap)
+	n     uint64    // total observations
+	sum   float64
+	min   float64
+	max   float64
+	rng   *mathx.RNG
+	sorts []float64 // scratch reused by Quantile
+}
+
+// DefaultReservoirSize retains enough samples that the p99 of a steady
+// stream is estimated from ~40 order statistics.
+const DefaultReservoirSize = 4096
+
+// NewReservoir returns a reservoir retaining up to capacity samples
+// (DefaultReservoirSize when capacity <= 0). The replacement stream is
+// seeded deterministically so runs are reproducible.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		capacity = DefaultReservoirSize
+	}
+	return &Reservoir{
+		vals: make([]float64, 0, capacity),
+		min:  math.Inf(1),
+		max:  math.Inf(-1),
+		rng:  mathx.NewRNG(seed),
+	}
+}
+
+// Add observes one value in O(1) with no allocations (the sample slice is
+// pre-sized at construction).
+func (r *Reservoir) Add(x float64) {
+	r.n++
+	r.sum += x
+	if x < r.min {
+		r.min = x
+	}
+	if x > r.max {
+		r.max = x
+	}
+	if len(r.vals) < cap(r.vals) {
+		r.vals = append(r.vals, x)
+		return
+	}
+	// Algorithm R: keep x with probability cap/n, replacing a uniform
+	// victim, so the retained set stays a uniform sample of the stream.
+	if j := int(r.rng.Uint64() % r.n); j < len(r.vals) {
+		r.vals[j] = x
+	}
+}
+
+// Count returns the total number of observations.
+func (r *Reservoir) Count() uint64 { return r.n }
+
+// Mean returns the exact running mean (0 when empty).
+func (r *Reservoir) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Min returns the exact minimum observed. It panics when empty.
+func (r *Reservoir) Min() float64 {
+	if r.n == 0 {
+		panic("stats: Min of empty reservoir")
+	}
+	return r.min
+}
+
+// Max returns the exact maximum observed. It panics when empty.
+func (r *Reservoir) Max() float64 {
+	if r.n == 0 {
+		panic("stats: Max of empty reservoir")
+	}
+	return r.max
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the retained
+// sample. Exact while the stream fits in the reservoir; a uniform-sample
+// estimate beyond that. It panics when empty.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.vals) == 0 {
+		panic("stats: Quantile of empty reservoir")
+	}
+	r.sorts = append(r.sorts[:0], r.vals...)
+	sort.Float64s(r.sorts)
+	return quantileSorted(r.sorts, q)
+}
+
+// Reset forgets everything but keeps the allocated capacity and RNG stream.
+func (r *Reservoir) Reset() {
+	r.vals = r.vals[:0]
+	r.n = 0
+	r.sum = 0
+	r.min = math.Inf(1)
+	r.max = math.Inf(-1)
+}
+
+// quantileSorted interpolates the q-th quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// MergedQuantile estimates the q-th quantile of the union of several
+// reservoirs' streams. Each retained sample is weighted by the number of
+// stream observations it represents (n_i / len_i), so shards with more
+// traffic count proportionally more. Empty reservoirs are skipped; it
+// panics when every reservoir is empty.
+func MergedQuantile(q float64, rs ...*Reservoir) float64 {
+	type wv struct {
+		v, w float64
+	}
+	var pairs []wv
+	var total float64
+	for _, r := range rs {
+		if r == nil || len(r.vals) == 0 {
+			continue
+		}
+		w := float64(r.n) / float64(len(r.vals))
+		for _, v := range r.vals {
+			pairs = append(pairs, wv{v, w})
+			total += w
+		}
+	}
+	if len(pairs) == 0 {
+		panic("stats: MergedQuantile of empty reservoirs")
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	if q <= 0 {
+		return pairs[0].v
+	}
+	if q >= 1 {
+		return pairs[len(pairs)-1].v
+	}
+	target := q * total
+	var cum float64
+	for _, p := range pairs {
+		cum += p.w
+		if cum >= target {
+			return p.v
+		}
+	}
+	return pairs[len(pairs)-1].v
+}
+
+// Summary is a compact digest of a distribution, the unit every serving
+// benchmark reports and BENCH_serve.json records.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize digests one or more reservoirs into a Summary over the union of
+// their streams. A summary of zero observations is the zero Summary.
+func Summarize(rs ...*Reservoir) Summary {
+	var s Summary
+	var sum float64
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, r := range rs {
+		if r == nil || r.n == 0 {
+			continue
+		}
+		any = true
+		s.Count += r.n
+		sum += r.sum
+		if r.min < minV {
+			minV = r.min
+		}
+		if r.max > maxV {
+			maxV = r.max
+		}
+	}
+	if !any {
+		return Summary{}
+	}
+	s.Mean = sum / float64(s.Count)
+	s.Min = minV
+	s.Max = maxV
+	s.P50 = MergedQuantile(0.50, rs...)
+	s.P95 = MergedQuantile(0.95, rs...)
+	s.P99 = MergedQuantile(0.99, rs...)
+	return s
+}
+
+// String renders the summary on one line (values interpreted by the caller's
+// unit convention).
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g min=%.3g max=%.3g",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max)
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"advnet/internal/mathx"
+)
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 10; i >= 1; i-- {
+		r.Add(float64(i))
+	}
+	if r.Count() != 10 {
+		t.Fatalf("count %d, want 10", r.Count())
+	}
+	if got := r.Quantile(0.5); got != 5.5 {
+		t.Fatalf("median %v, want 5.5", got)
+	}
+	if r.Min() != 1 || r.Max() != 10 {
+		t.Fatalf("min/max %v/%v, want 1/10", r.Min(), r.Max())
+	}
+	if got := r.Mean(); got != 5.5 {
+		t.Fatalf("mean %v, want 5.5", got)
+	}
+	// Below capacity the sample is the stream: extreme quantiles are exact.
+	if r.Quantile(0) != 1 || r.Quantile(1) != 10 {
+		t.Fatal("extreme quantiles not exact below capacity")
+	}
+}
+
+func TestReservoirApproximatesBigStream(t *testing.T) {
+	r := NewReservoir(2048, 7)
+	rng := mathx.NewRNG(99)
+	for i := 0; i < 200_000; i++ {
+		r.Add(rng.Uniform(0, 1))
+	}
+	if r.Count() != 200_000 {
+		t.Fatalf("count %d", r.Count())
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 0.5, 0.05},
+		{0.95, 0.95, 0.03},
+		{0.99, 0.99, 0.02},
+	} {
+		if got := r.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("q=%v: got %v, want %v±%v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Exact aggregates are unaffected by sampling.
+	if math.Abs(r.Mean()-0.5) > 0.01 {
+		t.Fatalf("mean %v", r.Mean())
+	}
+}
+
+func TestReservoirAddZeroAllocs(t *testing.T) {
+	r := NewReservoir(512, 3)
+	// Overfill so the replacement branch is exercised too.
+	for i := 0; i < 1024; i++ {
+		r.Add(float64(i))
+	}
+	if n := testing.AllocsPerRun(1000, func() { r.Add(1.0) }); n != 0 {
+		t.Fatalf("Add allocates %v per run, want 0", n)
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(8, 5)
+	for i := 0; i < 20; i++ {
+		r.Add(float64(i))
+	}
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	r.Add(42)
+	if r.Quantile(0.5) != 42 || r.Min() != 42 || r.Max() != 42 {
+		t.Fatal("reservoir unusable after reset")
+	}
+}
+
+func TestReservoirEmptyPanics(t *testing.T) {
+	r := NewReservoir(8, 1)
+	for _, f := range []func(){
+		func() { r.Quantile(0.5) },
+		func() { r.Min() },
+		func() { r.Max() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on empty reservoir")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMergedQuantileWeightsByTraffic: a shard with 10× the traffic must
+// dominate the merged quantile even when both reservoirs retain the same
+// number of samples.
+func TestMergedQuantileWeightsByTraffic(t *testing.T) {
+	hot := NewReservoir(256, 11)  // 10k observations near 100
+	cold := NewReservoir(256, 13) // 1k observations near 1
+	rng := mathx.NewRNG(17)
+	for i := 0; i < 10_000; i++ {
+		hot.Add(rng.Uniform(99, 101))
+	}
+	for i := 0; i < 1_000; i++ {
+		cold.Add(rng.Uniform(0.9, 1.1))
+	}
+	// ~91% of the union sits near 100, so the median must be there.
+	if got := MergedQuantile(0.5, hot, cold); got < 99 {
+		t.Fatalf("merged median %v, want ≈100", got)
+	}
+	// The low tail still belongs to the cold shard.
+	if got := MergedQuantile(0.05, hot, cold); got > 2 {
+		t.Fatalf("merged p5 %v, want ≈1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := NewReservoir(128, 19)
+	b := NewReservoir(128, 23)
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Add(float64(i))
+	}
+	s := Summarize(a, b)
+	if s.Count != 200 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 200 {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-100.5) > 1e-9 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if math.Abs(s.P50-100) > 3 {
+		t.Fatalf("p50 %v", s.P50)
+	}
+	if s.P99 < 195 || s.P99 > 200 {
+		t.Fatalf("p99 %v", s.P99)
+	}
+	if empty := Summarize(NewReservoir(8, 1)); empty.Count != 0 {
+		t.Fatal("summary of empty reservoir not zero")
+	}
+}
