@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench serve-race faults verify
+.PHONY: all build test vet race bench swarm-bench serve-race faults verify
 
 all: verify
 
@@ -29,6 +29,14 @@ bench:
 	$(GO) test -run 'xxx' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkForwardBatch|BenchmarkPPOTrainIteration|BenchmarkEvaluateABR|BenchmarkServeStorm' -benchmem .
 	$(GO) test -run 'xxx' -bench 'BenchmarkTraceLinkDownload' -benchmem ./internal/abr/
 	$(GO) run ./cmd/serve -n 200000 -batch 32 -storm 128 -json BENCH_serve.json
+	$(MAKE) swarm-bench
+
+# Swarm-scale simulation benchmark: per-event cost of the fluid scheduler
+# (must report 0 allocs/op in steady state) and the 100k-concurrent-session
+# run on one machine, reported machine-readably in BENCH_swarm.json.
+swarm-bench:
+	$(GO) test -run 'xxx' -bench 'BenchmarkSwarmGroupEvent' -benchmem ./internal/swarm/
+	$(GO) run ./cmd/swarm -clients 100000 -groups 1024 -capacity 40 -protocol bb,rate,bola -json BENCH_swarm.json
 
 # Serving-engine concurrency suite under the race detector: hot-reload
 # consistency (snapshot swaps mid-storm, every response consistent with
@@ -36,13 +44,15 @@ bench:
 serve-race:
 	$(GO) test -race -count=1 ./internal/serve/
 
-# Crash-safety and fault-injection suite (DESIGN.md §8.2/§8.3) under the
-# race detector: bitwise checkpoint resume (rl trainers, abr env state, the
-# robust pipeline, shard cursors), worker-panic containment, the divergence
-# watchdog, shard determinism, zero-bandwidth download guards, and the
-# atomic-write crash simulation.
+# Crash-safety, fault-injection, and determinism suite (DESIGN.md §8.2/§8.3/
+# §8.5) under the race detector: bitwise checkpoint resume (rl trainers, abr
+# env state, the robust pipeline, shard cursors), worker-panic containment
+# (rollout workers and swarm groups), the divergence watchdog, shard
+# determinism, zero-bandwidth download guards, the atomic-write crash
+# simulation, the netem cross-run determinism suite, and the swarm
+# worker-count-invariance suite.
 faults:
-	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/
+	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth|Determinism|SameSeed|Swarm' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/ ./internal/netem/ ./internal/swarm/
 
 # Tier-1 verification: build + tests, plus vet and the race detector.
 verify: build vet test race

@@ -1,0 +1,238 @@
+// Command swarm simulates a swarm of concurrent ABR clients sharing
+// bottleneck links on one virtual clock and reports machine-readable QoE,
+// fairness, and throughput telemetry. It is the scale harness behind
+// `make swarm-bench`: 100k+ concurrent sessions on one machine with a
+// deterministic, worker-count-independent outcome.
+//
+// Usage:
+//
+//	swarm -clients 100000 -groups 1024 -capacity 40 -json BENCH_swarm.json
+//	swarm -clients 64 -groups 4 -backend netem -cc cubic -loss 0.01
+//	swarm -clients 5000 -traces traces.json    # capacity from a trace file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"strings"
+	"time"
+
+	"advnet/internal/abr"
+	"advnet/internal/cc"
+	"advnet/internal/fsx"
+	"advnet/internal/netem"
+	"advnet/internal/stats"
+	"advnet/internal/swarm"
+	"advnet/internal/trace"
+)
+
+// report is the BENCH_swarm.json schema.
+type report struct {
+	Config struct {
+		Clients      int     `json:"clients"`
+		Groups       int     `json:"groups"`
+		Workers      int     `json:"workers"`
+		Seed         uint64  `json:"seed"`
+		Protocol     string  `json:"protocol"`
+		Backend      string  `json:"backend"`
+		CC           string  `json:"cc,omitempty"`
+		CapacityMbps float64 `json:"capacity_mbps"`
+		Traces       string  `json:"traces,omitempty"`
+		Chunks       int     `json:"chunks"`
+	} `json:"config"`
+	Swarm struct {
+		CompletedClients int     `json:"completed_clients"`
+		FailedGroups     []int   `json:"failed_groups,omitempty"`
+		Events           uint64  `json:"events"`
+		VirtualSeconds   float64 `json:"virtual_seconds"`
+		WallSeconds      float64 `json:"wall_seconds"`
+		EventsPerSec     float64 `json:"events_per_sec"`
+		SpeedupOverReal  float64 `json:"speedup_over_realtime"`
+	} `json:"swarm"`
+	QoE struct {
+		PerChunk  stats.Summary `json:"per_chunk"`
+		PerClient stats.Summary `json:"per_client"`
+		Rebuffer  stats.Summary `json:"rebuffer_s_per_client"`
+		Bits      stats.Summary `json:"bits_per_client"`
+	} `json:"qoe"`
+	Fairness struct {
+		Jain      float64       `json:"jain"`
+		GroupJain stats.Summary `json:"group_jain"`
+	} `json:"fairness"`
+}
+
+// protocolFactory parses a protocol spec: one name, a comma-separated list
+// (clients round-robin through it), or "mixed" (= bb,rate,bola,mpc — note
+// MPC's exhaustive lookahead makes it ~50x costlier per decision than the
+// heuristics, which dominates wall time at 100k-client scale).
+func protocolFactory(spec string) (func(int) abr.Protocol, error) {
+	mk := map[string]func() abr.Protocol{
+		"bb":   func() abr.Protocol { return abr.NewBB() },
+		"rate": func() abr.Protocol { return abr.NewRateBased() },
+		"bola": func() abr.Protocol { return abr.NewBOLA() },
+		"mpc":  func() abr.Protocol { return abr.NewMPC() },
+	}
+	if spec == "mixed" {
+		spec = "bb,rate,bola,mpc"
+	}
+	names := strings.Split(spec, ",")
+	order := make([]func() abr.Protocol, len(names))
+	for i, name := range names {
+		f, ok := mk[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown protocol %q (bb|rate|bola|mpc, comma-separable, or mixed)", name)
+		}
+		order[i] = f
+	}
+	return func(i int) abr.Protocol { return order[i%len(order)]() }, nil
+}
+
+func ccFactory(name string) (func() netem.CongestionController, error) {
+	switch name {
+	case "reno":
+		return func() netem.CongestionController { return cc.NewReno() }, nil
+	case "cubic":
+		return func() netem.CongestionController { return cc.NewCubic() }, nil
+	case "bbr":
+		return func() netem.CongestionController { return cc.NewBBR() }, nil
+	case "copa":
+		return func() netem.CongestionController { return cc.NewCopa() }, nil
+	case "htcp":
+		return func() netem.CongestionController { return cc.NewHTCP() }, nil
+	case "vivace":
+		return func() netem.CongestionController { return cc.NewVivace() }, nil
+	}
+	return nil, fmt.Errorf("unknown congestion controller %q (reno|cubic|bbr|copa|htcp|vivace)", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	clients := flag.Int("clients", 100_000, "total simulated viewers")
+	groups := flag.Int("groups", 1024, "independent shared bottlenecks")
+	workers := flag.Int("workers", 0, "OS parallelism (0 = GOMAXPROCS); never changes results")
+	seed := flag.Uint64("seed", 1, "master seed; same seed = bitwise-identical report")
+	protocol := flag.String("protocol", "mixed", "ABR protocol per client: bb|rate|bola|mpc|mixed")
+	capacity := flag.Float64("capacity", 40, "per-group bottleneck capacity in Mbps (ignored with -traces)")
+	tracesPath := flag.String("traces", "", "trace dataset JSON; group g replays trace g mod len cyclically")
+	chunks := flag.Int("chunks", 48, "video length in chunks")
+	rtt := flag.Float64("rtt", 0.08, "per-chunk request RTT in seconds (fluid backend)")
+	window := flag.Float64("window", 30, "client start stagger window in seconds")
+	backend := flag.String("backend", "fluid", "bottleneck model: fluid|netem")
+	ccName := flag.String("cc", "cubic", "congestion controller per client (netem backend)")
+	delay := flag.Float64("delay", 20, "one-way propagation delay in ms (netem backend)")
+	loss := flag.Float64("loss", 0, "random loss rate (netem backend)")
+	queue := flag.Int("queue", 64, "bottleneck queue in packets (netem backend)")
+	jsonOut := flag.String("json", "", "write the machine-readable report here (e.g. BENCH_swarm.json)")
+	flag.Parse()
+
+	newProto, err := protocolFactory(*protocol)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	videoCfg := abr.DefaultVideoConfig()
+	videoCfg.NumChunks = *chunks
+
+	cfg := swarm.Config{
+		Clients:      *clients,
+		Groups:       *groups,
+		Workers:      *workers,
+		Seed:         *seed,
+		Video:        videoCfg,
+		NewProtocol:  newProto,
+		CapacityMbps: *capacity,
+		RTTSeconds:   *rtt,
+		StartWindowS: *window,
+	}
+	switch *backend {
+	case "fluid":
+	case "netem":
+		cfg.Backend = swarm.NetemBackend
+		cfg.OneWayDelayMs = *delay
+		cfg.LossRate = *loss
+		cfg.QueuePackets = *queue
+		if cfg.NewCC, err = ccFactory(*ccName); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown backend %q (fluid|netem)", *backend)
+	}
+	if *tracesPath != "" {
+		ds, err := trace.LoadJSON(*tracesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(ds.Traces) == 0 {
+			log.Fatalf("trace dataset %s is empty", *tracesPath)
+		}
+		// One shared-capacity schedule for every group keeps the CLI
+		// simple; per-group traces are a library-level Config choice.
+		cfg.Trace = ds.Traces[0]
+	}
+
+	start := time.Now()
+	res, err := swarm.Run(cfg)
+	wall := time.Since(start)
+	if err != nil {
+		// Contained group failures still produce a report; anything else
+		// (config rejection) is fatal.
+		if res == nil {
+			log.Fatal(err)
+		}
+		log.Printf("swarm: %d group(s) failed: %v", len(res.FailedGroups), err)
+	}
+
+	var r report
+	r.Config.Clients = *clients
+	r.Config.Groups = *groups
+	if *workers > 0 {
+		r.Config.Workers = *workers
+	} else {
+		r.Config.Workers = runtime.GOMAXPROCS(0)
+	}
+	r.Config.Seed = *seed
+	r.Config.Protocol = *protocol
+	r.Config.Backend = *backend
+	if *backend == "netem" {
+		r.Config.CC = *ccName
+	}
+	r.Config.CapacityMbps = *capacity
+	r.Config.Traces = *tracesPath
+	r.Config.Chunks = *chunks
+	r.Swarm.CompletedClients = res.CompletedClients
+	r.Swarm.FailedGroups = res.FailedGroups
+	r.Swarm.Events = res.Events
+	r.Swarm.VirtualSeconds = res.VirtualSeconds
+	r.Swarm.WallSeconds = wall.Seconds()
+	r.Swarm.EventsPerSec = float64(res.Events) / wall.Seconds()
+	r.Swarm.SpeedupOverReal = res.VirtualSeconds / wall.Seconds()
+	r.QoE.PerChunk = res.QoEPerChunk
+	r.QoE.PerClient = res.QoEPerClient
+	r.QoE.Rebuffer = res.RebufferPerClient
+	r.QoE.Bits = res.BitsPerClient
+	r.Fairness.Jain = res.Jain
+	r.Fairness.GroupJain = res.GroupJain
+
+	fmt.Printf("swarm:    %d clients / %d groups completed in %.2fs wall (%.0fs virtual, %.0fx real time)\n",
+		res.CompletedClients, *groups-len(res.FailedGroups), wall.Seconds(), res.VirtualSeconds, r.Swarm.SpeedupOverReal)
+	fmt.Printf("events:   %d (%.0f events/s)\n", res.Events, r.Swarm.EventsPerSec)
+	fmt.Printf("qoe:      per-client mean %.3f p50 %.3f p95 %.3f\n",
+		res.QoEPerClient.Mean, res.QoEPerClient.P50, res.QoEPerClient.P95)
+	fmt.Printf("rebuffer: per-client mean %.2fs p95 %.2fs\n",
+		res.RebufferPerClient.Mean, res.RebufferPerClient.P95)
+	fmt.Printf("fairness: Jain %.4f (per-group p50 %.4f)\n", res.Jain, res.GroupJain.P50)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fsx.WriteFileAtomic(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report:   %s\n", *jsonOut)
+	}
+}

@@ -2,6 +2,7 @@ package abr
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"advnet/internal/trace"
@@ -145,8 +146,17 @@ func (l *TraceLink) BandwidthAt(t float64) float64 {
 	return l.Trace.At(t).BandwidthMbps
 }
 
+// mod returns x modulo m (m > 0). The quotient is floored in floating point
+// rather than truncated through int: converting x/m to int overflows for
+// quotients beyond 2^63 — reachable for very long session times over very
+// short traces — and the resulting garbage quotient silently produced a
+// garbage interval index. For every quotient int could represent, Floor is
+// bit-identical to the historical truncation (x and m are non-negative
+// here), so in-range behaviour is unchanged. Quotients at or above 2^53 have
+// no fractional part in float64, so Floor is exact there too and r collapses
+// to 0 — the correct cyclic-replay phase to within float64 resolution.
 func mod(x, m float64) float64 {
-	r := x - float64(int(x/m))*m
+	r := x - math.Floor(x/m)*m
 	if r < 0 {
 		r += m
 	}

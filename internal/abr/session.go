@@ -10,6 +10,19 @@ import (
 type SessionConfig struct {
 	QoE        QoEConfig
 	BufferCapS float64 // client buffer capacity in seconds; 0 means 60
+
+	// HistoryCap bounds the retained throughput/download history. 0 (the
+	// default) keeps the full per-chunk record — the historical behaviour
+	// every trainer and evaluator relies on. A positive value puts the
+	// session in lean mode for swarm-scale runs: per-chunk StepResults are
+	// not retained, and the throughput/download histories keep only the
+	// most recent samples (between HistoryCap and 2·HistoryCap entries, in
+	// a fixed buffer compacted amortized O(1) with no steady-state
+	// allocations). HistoryCap must be at least the longest lookback of
+	// the protocol driving the session (8 covers every protocol in this
+	// repository). Lean sessions are for simulation at scale, not
+	// checkpointing: State omits the dropped records.
+	HistoryCap int
 }
 
 // DefaultSessionConfig returns the Pensieve-style defaults (60 s buffer cap,
@@ -41,12 +54,13 @@ type Session struct {
 	link  Link
 	cfg   SessionConfig
 
-	chunk     int
-	lastLevel int
-	bufferS   float64
-	timeS     float64
-	totalQoE  float64
-	results   []StepResult
+	chunk       int
+	lastLevel   int
+	bufferS     float64
+	timeS       float64
+	totalQoE    float64
+	totalRebufS float64
+	results     []StepResult
 
 	throughputHist []float64
 	downloadHist   []float64
@@ -87,13 +101,18 @@ func (s *Session) LastLevel() int { return s.lastLevel }
 // TotalQoE returns the accumulated QoE over all downloaded chunks.
 func (s *Session) TotalQoE() float64 { return s.totalQoE }
 
+// TotalRebuffer returns the accumulated stall time in seconds over all
+// downloaded chunks — tracked as a running sum so lean (HistoryCap > 0)
+// sessions report it without retaining per-chunk records.
+func (s *Session) TotalRebuffer() float64 { return s.totalRebufS }
+
 // MeanQoE returns the per-chunk mean QoE so far (0 before any download).
 // This is the per-video "QoE" quantity Figures 1, 2 and 4 of the paper plot.
 func (s *Session) MeanQoE() float64 {
-	if len(s.results) == 0 {
+	if s.chunk == 0 {
 		return 0
 	}
-	return s.totalQoE / float64(len(s.results))
+	return s.totalQoE / float64(s.chunk)
 }
 
 // Results returns the per-chunk records so far (aliased; do not mutate).
@@ -102,6 +121,12 @@ func (s *Session) Results() []StepResult { return s.results }
 // Step downloads the next chunk at the given quality level and returns the
 // record of what happened. It panics if the session is done or the level is
 // out of range.
+//
+// Step is the session-owned chunk clock: it asks the session's Link how long
+// the transfer took and applies the result. An external clock (the swarm's
+// shared-bottleneck scheduler, where a transfer's duration depends on every
+// other concurrent client) computes the duration itself and calls ApplyChunk
+// directly.
 func (s *Session) Step(level int) StepResult {
 	if s.Done() {
 		panic("abr: Step on finished session")
@@ -112,6 +137,28 @@ func (s *Session) Step(level int) StepResult {
 	size := s.video.Size(level, s.chunk)
 	bw := s.link.BandwidthAt(s.timeS)
 	dl := s.link.Download(size, s.timeS)
+	return s.ApplyChunk(level, dl, bw)
+}
+
+// ApplyChunk records that the next chunk was fetched at the given quality
+// level and that the transfer took downloadS wall-clock seconds, bypassing
+// the session's own Link. It performs exactly the buffer, QoE, and history
+// bookkeeping Step performs after its Link.Download call — Step is
+// implemented on top of it — and is the entry point for external virtual
+// clocks (swarm groups) that resolve download durations themselves.
+// bandwidthMbps is recorded in the StepResult as the link capacity in force
+// when the download started. It panics if the session is done or the level
+// is out of range.
+func (s *Session) ApplyChunk(level int, downloadS, bandwidthMbps float64) StepResult {
+	if s.Done() {
+		panic("abr: ApplyChunk on finished session")
+	}
+	if level < 0 || level >= s.video.Levels() {
+		panic(fmt.Sprintf("abr: level %d out of range [0,%d)", level, s.video.Levels()))
+	}
+	size := s.video.Size(level, s.chunk)
+	bw := bandwidthMbps
+	dl := downloadS
 
 	rebuf := dl - s.bufferS
 	if rebuf < 0 {
@@ -152,13 +199,39 @@ func (s *Session) Step(level int) StepResult {
 		QoE:            q,
 		BandwidthMbps:  bw,
 	}
-	s.results = append(s.results, res)
+	if s.cfg.HistoryCap > 0 {
+		s.pushLeanHist(res.ThroughputMbps, res.DownloadS)
+	} else {
+		s.results = append(s.results, res)
+		s.throughputHist = append(s.throughputHist, res.ThroughputMbps)
+		s.downloadHist = append(s.downloadHist, res.DownloadS)
+	}
 	s.totalQoE += q
+	s.totalRebufS += rebuf
 	s.lastLevel = level
 	s.chunk++
-	s.throughputHist = append(s.throughputHist, res.ThroughputMbps)
-	s.downloadHist = append(s.downloadHist, res.DownloadS)
 	return res
+}
+
+// pushLeanHist appends one history sample under HistoryCap: the buffers hold
+// at most 2·HistoryCap entries and are compacted by copying the newest
+// HistoryCap samples to the front when full, so appends never reallocate
+// after the first chunk and the retained window always covers at least the
+// last HistoryCap samples.
+func (s *Session) pushLeanHist(throughputMbps, downloadS float64) {
+	if s.throughputHist == nil {
+		s.throughputHist = make([]float64, 0, 2*s.cfg.HistoryCap)
+		s.downloadHist = make([]float64, 0, 2*s.cfg.HistoryCap)
+	}
+	if len(s.throughputHist) == cap(s.throughputHist) {
+		keep := s.cfg.HistoryCap
+		n := copy(s.throughputHist, s.throughputHist[len(s.throughputHist)-keep:])
+		s.throughputHist = s.throughputHist[:n]
+		n = copy(s.downloadHist, s.downloadHist[len(s.downloadHist)-keep:])
+		s.downloadHist = s.downloadHist[:n]
+	}
+	s.throughputHist = append(s.throughputHist, throughputMbps)
+	s.downloadHist = append(s.downloadHist, downloadS)
 }
 
 // SessionState is the serializable mid-stream state of a Session: everything
@@ -171,6 +244,7 @@ type SessionState struct {
 	BufferS        float64      `json:"buffer_s"`
 	TimeS          float64      `json:"time_s"`
 	TotalQoE       float64      `json:"total_qoe"`
+	TotalRebufS    float64      `json:"total_rebuf_s,omitempty"`
 	Results        []StepResult `json:"results,omitempty"`
 	ThroughputHist []float64    `json:"throughput_hist,omitempty"`
 	DownloadHist   []float64    `json:"download_hist,omitempty"`
@@ -184,6 +258,7 @@ func (s *Session) State() SessionState {
 		BufferS:        s.bufferS,
 		TimeS:          s.timeS,
 		TotalQoE:       s.totalQoE,
+		TotalRebufS:    s.totalRebufS,
 		Results:        append([]StepResult(nil), s.results...),
 		ThroughputHist: mathx.CopyOf(s.throughputHist),
 		DownloadHist:   mathx.CopyOf(s.downloadHist),
@@ -200,7 +275,13 @@ func RestoreSession(video *Video, link Link, cfg SessionConfig, st SessionState)
 	if st.LastLevel < -1 || st.LastLevel >= video.Levels() {
 		return nil, fmt.Errorf("abr: restored last level %d out of range [-1,%d)", st.LastLevel, video.Levels())
 	}
-	if len(st.ThroughputHist) != len(st.DownloadHist) || len(st.Results) != len(st.ThroughputHist) {
+	if len(st.ThroughputHist) != len(st.DownloadHist) {
+		return nil, fmt.Errorf("abr: restored history lengths inconsistent: %d throughputs, %d downloads",
+			len(st.ThroughputHist), len(st.DownloadHist))
+	}
+	// Lean sessions (HistoryCap > 0) legitimately retain a bounded history
+	// and no per-chunk results; full sessions must be internally consistent.
+	if cfg.HistoryCap <= 0 && len(st.Results) != len(st.ThroughputHist) {
 		return nil, fmt.Errorf("abr: restored history lengths inconsistent: %d results, %d throughputs, %d downloads",
 			len(st.Results), len(st.ThroughputHist), len(st.DownloadHist))
 	}
@@ -210,6 +291,7 @@ func RestoreSession(video *Video, link Link, cfg SessionConfig, st SessionState)
 	s.bufferS = st.BufferS
 	s.timeS = st.TimeS
 	s.totalQoE = st.TotalQoE
+	s.totalRebufS = st.TotalRebufS
 	s.results = append([]StepResult(nil), st.Results...)
 	s.throughputHist = mathx.CopyOf(st.ThroughputHist)
 	s.downloadHist = mathx.CopyOf(st.DownloadHist)
@@ -237,26 +319,43 @@ type Observation struct {
 // Observation builds the current protocol-visible state. It returns nil when
 // the session is done.
 func (s *Session) Observation() *Observation {
-	if s.Done() {
+	o := &Observation{}
+	if !s.ObservationInto(o) {
 		return nil
 	}
-	o := &Observation{
-		ChunkIndex:     s.chunk,
-		TotalChunks:    s.video.NumChunks(),
-		Levels:         s.video.Levels(),
-		BitratesKbps:   s.video.BitratesKbps,
-		ChunkSeconds:   s.video.ChunkSeconds,
-		LastLevel:      s.lastLevel,
-		BufferS:        s.bufferS,
-		NextSizesBits:  s.video.ChunkSizes(s.chunk),
-		ThroughputHist: s.throughputHist,
-		DownloadHist:   s.downloadHist,
+	return o
+}
+
+// ObservationInto fills o with the current protocol-visible state, reusing
+// o's slice capacity so a caller that recycles one Observation per clock
+// (the swarm hot loop) observes with zero allocations. History and bitrate
+// slices alias session/video state — valid until the next chunk is applied,
+// and not to be mutated. It reports false (leaving o untouched) when the
+// session is done.
+func (s *Session) ObservationInto(o *Observation) bool {
+	if s.Done() {
+		return false
 	}
+	o.ChunkIndex = s.chunk
+	o.TotalChunks = s.video.NumChunks()
+	o.Levels = s.video.Levels()
+	o.BitratesKbps = s.video.BitratesKbps
+	o.ChunkSeconds = s.video.ChunkSeconds
+	o.LastLevel = s.lastLevel
+	o.BufferS = s.bufferS
+	o.NextSizesBits = o.NextSizesBits[:0]
+	for l := 0; l < o.Levels; l++ {
+		o.NextSizesBits = append(o.NextSizesBits, s.video.SizesBits[l][s.chunk])
+	}
+	o.ThroughputHist = s.throughputHist
+	o.DownloadHist = s.downloadHist
+	o.LastThroughput = 0
+	o.LastDownloadS = 0
 	if n := len(s.throughputHist); n > 0 {
 		o.LastThroughput = s.throughputHist[n-1]
 		o.LastDownloadS = s.downloadHist[n-1]
 	}
-	return o
+	return true
 }
 
 // Protocol is an ABR algorithm: given the observable session state it picks

@@ -1,10 +1,11 @@
 package netem
 
 import (
-	"container/heap"
 	"math"
+	"slices"
 
 	"advnet/internal/mathx"
+	"advnet/internal/vclock"
 )
 
 // MultiEmulator extends the single-sender emulator to several congestion
@@ -19,9 +20,8 @@ type MultiEmulator struct {
 	cond  Conditions
 	cfg   Config
 
-	now     float64
-	events  eventHeap
-	eventID int64
+	now    float64
+	events vclock.Queue
 
 	queue []multiPacket
 	busy  bool
@@ -37,6 +37,7 @@ type flowState struct {
 	nextSendAt  float64
 	rtoDeadline float64
 	srtt        float64
+	lossBuf     []int64 // scratch for sorted implied-loss signaling
 }
 
 type multiPacket struct {
@@ -89,33 +90,50 @@ func (m *MultiEmulator) QueueingDelay() float64 {
 }
 
 func (m *MultiEmulator) schedule(at float64, kind eventKind, seq int64) {
-	m.eventID++
-	heap.Push(&m.events, event{at: at, kind: kind, seq: seq, id: m.eventID})
+	m.events.Schedule(vclock.Event{At: at, Kind: int32(kind), Seq: seq})
 }
 
 // Run advances virtual time to the given instant. Event seq encoding: for
 // evSend and evRTO, seq is the flow index; for evAckArrive it is
-// flow*1<<40 + packet seq.
+// flow*1<<40 + packet seq. Together with Now it implements vclock.Runner.
 func (m *MultiEmulator) Run(until float64) {
-	for len(m.events) > 0 && m.events.peek().at <= until {
-		ev := heap.Pop(&m.events).(event)
-		if ev.at > m.now {
-			m.now = ev.at
-		}
-		switch ev.kind {
-		case evSend:
-			m.handleSend(int(ev.seq))
-		case evDequeue:
-			m.handleDequeue()
-		case evAckArrive:
-			m.handleAck(int(ev.seq>>40), ev.seq&((1<<40)-1))
-		case evRTO:
-			m.handleRTO(int(ev.seq), ev.at)
-		}
+	for m.StepEvent(until) {
 	}
 	if until > m.now {
 		m.now = until
 	}
+}
+
+// NextEventAt returns the virtual time of the earliest pending event. A
+// composite simulation (e.g. a swarm group multiplexing chunk wake-ups over
+// this emulator) uses it to interleave its own events with packet events on
+// one shared clock.
+func (m *MultiEmulator) NextEventAt() (float64, bool) { return m.events.PeekAt() }
+
+// StepEvent processes the single earliest pending event if it fires at or
+// before until, advancing Now to that event's time. It reports whether an
+// event was processed. Run is a loop over StepEvent; external clocks step
+// one event at a time so they can observe per-flow delivery between packet
+// events.
+func (m *MultiEmulator) StepEvent(until float64) bool {
+	ev, ok := m.events.PopIfAtOrBefore(until)
+	if !ok {
+		return false
+	}
+	if ev.At > m.now {
+		m.now = ev.At
+	}
+	switch eventKind(ev.Kind) {
+	case evSend:
+		m.handleSend(int(ev.Seq))
+	case evDequeue:
+		m.handleDequeue()
+	case evAckArrive:
+		m.handleAck(int(ev.Seq>>40), ev.Seq&((1<<40)-1))
+	case evRTO:
+		m.handleRTO(int(ev.Seq), ev.At)
+	}
+	return true
 }
 
 func (m *MultiEmulator) handleSend(fi int) {
@@ -123,7 +141,18 @@ func (m *MultiEmulator) handleSend(fi int) {
 	cwnd := f.cc.CWND(m.now)
 	rate := f.cc.PacingRate(m.now)
 	if rate <= 0 {
-		rate = PacketBits
+		// Explicit fallback for pacing-less controllers: never slower than
+		// FallbackPacingBps (one packet per second, which keeps the send
+		// clock ticking), but window-driven like the single-flow emulator's
+		// effective behaviour — a controller that only exposes a congestion
+		// window is paced to send its whole window per smoothed RTT instead
+		// of silently crawling at one packet per second.
+		rate = FallbackPacingBps
+		if cwnd > 0 && f.srtt > 0 {
+			if wr := cwnd * PacketBits / f.srtt; wr > rate {
+				rate = wr
+			}
+		}
 	}
 	sent := false
 	for float64(len(f.inflight)) < cwnd && m.now >= f.nextSendAt-1e-12 {
@@ -206,13 +235,21 @@ func (m *MultiEmulator) handleAck(fi int, seq int64) {
 	} else {
 		f.srtt = 0.875*f.srtt + 0.125*rtt
 	}
+	// Signal implied losses in ascending sequence order (not map order) so
+	// order-sensitive controllers evolve identically run to run.
+	losses := f.lossBuf[:0]
 	for s := range f.inflight {
 		if s < seq {
-			delete(f.inflight, s)
-			m.stats.LossesSignaled++
-			f.cc.OnLoss(m.now, s)
+			losses = append(losses, s)
 		}
 	}
+	slices.Sort(losses)
+	for _, s := range losses {
+		delete(f.inflight, s)
+		m.stats.LossesSignaled++
+		f.cc.OnLoss(m.now, s)
+	}
+	f.lossBuf = losses[:0]
 	f.cc.OnAck(Ack{Seq: seq, Now: m.now, RTT: rtt})
 	m.armRTO(fi)
 }
@@ -238,9 +275,7 @@ func (m *MultiEmulator) handleRTO(fi int, at float64) {
 	if at < f.rtoDeadline-1e-9 || len(f.inflight) == 0 {
 		return
 	}
-	for s := range f.inflight {
-		delete(f.inflight, s)
-	}
+	clear(f.inflight)
 	m.stats.Timeouts++
 	f.cc.OnTimeout(m.now)
 }

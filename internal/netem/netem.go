@@ -9,15 +9,26 @@
 package netem
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"slices"
 
 	"advnet/internal/mathx"
+	"advnet/internal/vclock"
 )
 
 // PacketBits is the size of every data packet (1500 bytes).
 const PacketBits = 12000
+
+// FallbackPacingBps is the pacing rate substituted when a controller reports
+// a non-positive PacingRate: one packet per second (12 kbit/s). It exists to
+// keep the send clock ticking — a rate of zero would schedule the next send
+// infinitely far away and silently freeze the flow — while being slow enough
+// that any real controller's rate immediately dominates it. The
+// MultiEmulator additionally lets a positive congestion window override this
+// floor (see its handleSend) so window-only controllers still progress at
+// window speed.
+const FallbackPacingBps = PacketBits
 
 // Ack is the feedback delivered to the congestion controller when a data
 // packet is acknowledged.
@@ -82,27 +93,6 @@ const (
 	evRTO
 )
 
-type event struct {
-	at   float64
-	kind eventKind
-	seq  int64
-	id   int64 // tiebreaker for deterministic ordering
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].id < h[j].id
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
-
 type queuedPacket struct {
 	seq    int64
 	sentAt float64
@@ -115,15 +105,15 @@ type Emulator struct {
 	cond Conditions
 	cfg  Config
 
-	now     float64
-	events  eventHeap
-	eventID int64
+	now    float64
+	events vclock.Queue
 
 	queue     []queuedPacket
 	busy      bool // bottleneck serializing a packet
 	nextSeq   int64
 	inflight  map[int64]float64 // seq -> sentAt
 	highAcked int64             // highest acked seq (-1 initially)
+	lossBuf   []int64           // scratch for sorted implied-loss signaling
 
 	nextSendAt  float64
 	rtoDeadline float64
@@ -187,26 +177,29 @@ func (e *Emulator) Inflight() int { return len(e.inflight) }
 func (e *Emulator) HighestAcked() int64 { return e.highAcked }
 
 func (e *Emulator) schedule(at float64, kind eventKind, seq int64) {
-	e.eventID++
-	heap.Push(&e.events, event{at: at, kind: kind, seq: seq, id: e.eventID})
+	e.events.Schedule(vclock.Event{At: at, Kind: int32(kind), Seq: seq})
 }
 
 // Run advances virtual time until the given instant, processing all events.
+// Together with Now it implements vclock.Runner.
 func (e *Emulator) Run(until float64) {
-	for len(e.events) > 0 && e.events.peek().at <= until {
-		ev := heap.Pop(&e.events).(event)
-		if ev.at > e.now {
-			e.now = ev.at
+	for {
+		ev, ok := e.events.PopIfAtOrBefore(until)
+		if !ok {
+			break
 		}
-		switch ev.kind {
+		if ev.At > e.now {
+			e.now = ev.At
+		}
+		switch eventKind(ev.Kind) {
 		case evSend:
 			e.handleSend()
 		case evDequeue:
 			e.handleDequeue()
 		case evAckArrive:
-			e.handleAck(ev.seq)
+			e.handleAck(ev.Seq)
 		case evRTO:
-			e.handleRTO(ev.at)
+			e.handleRTO(ev.At)
 		}
 	}
 	if until > e.now {
@@ -220,11 +213,11 @@ func (e *Emulator) Run(until float64) {
 
 func (e *Emulator) pendingSendEvents() int {
 	n := 0
-	for _, ev := range e.events {
-		if ev.kind == evSend {
+	e.events.Scan(func(ev vclock.Event) {
+		if eventKind(ev.Kind) == evSend {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -232,7 +225,7 @@ func (e *Emulator) handleSend() {
 	cwnd := e.cc.CWND(e.now)
 	rate := e.cc.PacingRate(e.now)
 	if rate <= 0 {
-		rate = PacketBits // 12 kbit/s floor keeps the clock ticking
+		rate = FallbackPacingBps
 	}
 	sent := false
 	for float64(len(e.inflight)) < cwnd && e.now >= e.nextSendAt-1e-12 {
@@ -314,14 +307,23 @@ func (e *Emulator) handleAck(seq int64) {
 	}
 
 	// In-order link: any unacked packet with a lower sequence was dropped.
-	for s, st := range e.inflight {
+	// The implied losses are collected and signaled in ascending sequence
+	// order — ranging over the map directly would fire OnLoss in Go's
+	// randomized iteration order, making order-sensitive controllers
+	// (BBR/Cubic state machines) non-reproducible run to run.
+	losses := e.lossBuf[:0]
+	for s := range e.inflight {
 		if s < seq {
-			_ = st
-			delete(e.inflight, s)
-			e.stats.LossesSignaled++
-			e.cc.OnLoss(e.now, s)
+			losses = append(losses, s)
 		}
 	}
+	slices.Sort(losses)
+	for _, s := range losses {
+		delete(e.inflight, s)
+		e.stats.LossesSignaled++
+		e.cc.OnLoss(e.now, s)
+	}
+	e.lossBuf = losses[:0]
 	if seq > e.highAcked {
 		e.highAcked = seq
 	}
@@ -356,9 +358,7 @@ func (e *Emulator) handleRTO(at float64) {
 	if len(e.inflight) == 0 {
 		return
 	}
-	for s := range e.inflight {
-		delete(e.inflight, s)
-	}
+	clear(e.inflight)
 	e.stats.Timeouts++
 	e.cc.OnTimeout(e.now)
 }

@@ -1,0 +1,166 @@
+// Package vclock is the single event-driven virtual-clock substrate shared
+// by every simulator in this repository. Historically the abr chunk clock
+// (Session time advanced per chunk download) and the netem packet clock
+// (an event heap of send/dequeue/ack/RTO events) were two unrelated
+// timelines; vclock unifies them behind one scheduler contract so that
+// components composed on one clock — e.g. the swarm layer multiplexing chunk
+// wake-ups over a packet-granularity netem bottleneck — interleave their
+// events deterministically.
+//
+// The contract has two halves:
+//
+//   - Queue: a deterministic pending-event heap. Events are ordered by
+//     (At, insertion id): simultaneous events fire in the order they were
+//     scheduled, independent of heap internals, which is what makes every
+//     run bit-for-bit reproducible.
+//   - Runner: anything that owns a queue and can advance its own virtual
+//     time to a deadline. netem.Emulator, netem.MultiEmulator and
+//     swarm.Group all implement it; a composite simulation advances its
+//     parts by interleaving their earliest events on one shared timeline.
+//
+// Queue deliberately avoids container/heap: pushing an event through an
+// `any` parameter boxes the struct and allocates, and the swarm hot loop is
+// pinned at zero allocations per event. The sift code below operates on the
+// typed slice directly.
+package vclock
+
+// Event is one scheduled occurrence on a virtual timeline. Kind, Actor and
+// Seq are owner-defined payload: netem stores its event kind and packet
+// sequence, the swarm stores the client index of a wake-up.
+type Event struct {
+	At    float64 // virtual time the event fires
+	Kind  int32   // owner-defined discriminator
+	Actor int32   // owner-defined actor/flow/client index
+	Seq   int64   // owner-defined payload (packet seq, encoded flow+seq, …)
+
+	id int64 // insertion order, the deterministic tiebreaker
+}
+
+// Queue is a min-heap of events ordered by (At, insertion id). The zero
+// value is ready to use. Not safe for concurrent use — a queue belongs to
+// exactly one virtual clock.
+type Queue struct {
+	h      []Event
+	nextID int64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Grow pre-allocates capacity for at least n pending events so that
+// steady-state Schedule calls never reallocate.
+func (q *Queue) Grow(n int) {
+	if cap(q.h) < n {
+		h := make([]Event, len(q.h), n)
+		copy(h, q.h)
+		q.h = h
+	}
+}
+
+// Schedule adds an event to the timeline. Events scheduled later sort after
+// earlier ones at the same instant.
+func (q *Queue) Schedule(ev Event) {
+	q.nextID++
+	ev.id = q.nextID
+	q.h = append(q.h, ev)
+	q.up(len(q.h) - 1)
+}
+
+// PeekAt returns the firing time of the earliest pending event.
+func (q *Queue) PeekAt() (float64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Peek returns the earliest pending event without removing it.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the earliest pending event.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	ev := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return ev, true
+}
+
+// PopIfAtOrBefore removes and returns the earliest event if it fires at or
+// before the deadline.
+func (q *Queue) PopIfAtOrBefore(deadline float64) (Event, bool) {
+	if len(q.h) == 0 || q.h[0].At > deadline {
+		return Event{}, false
+	}
+	return q.Pop()
+}
+
+// Scan calls fn for every pending event, in no particular order. It is a
+// diagnostic aid (e.g. counting events of a kind), not an iteration order
+// anything may depend on.
+func (q *Queue) Scan(fn func(Event)) {
+	for i := range q.h {
+		fn(q.h[i])
+	}
+}
+
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].At != q.h[j].At {
+		return q.h[i].At < q.h[j].At
+	}
+	return q.h[i].id < q.h[j].id
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			return
+		}
+		q.h[i], q.h[m] = q.h[m], q.h[i]
+		i = m
+	}
+}
+
+// Runner is a component that owns a virtual clock and can advance it: the
+// scheduler interface the abr chunk clock and the netem packet clock are
+// unified behind. Run processes every event at or before until and leaves
+// Now() >= the last processed event's time (implementations may clamp Now
+// up to until). Calling Run with a deadline in the past is a no-op.
+type Runner interface {
+	// Now returns the component's current virtual time in seconds.
+	Now() float64
+	// Run advances virtual time to the given instant, processing all events
+	// due at or before it.
+	Run(until float64)
+}
