@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet race bench swarm-bench serve-race faults verify
+# Where bench-diff / bench-baseline write their short-mode reports. The
+# committed baselines live in bench/baselines/; fresh runs go to a scratch
+# directory so the working tree stays clean.
+BENCH_BASELINE_DIR ?= bench/baselines
+BENCH_FRESH_DIR ?= /tmp/advnet-bench
+
+.PHONY: all build test vet race bench swarm-bench serve-race faults verify bench-short bench-diff bench-baseline
 
 all: verify
 
@@ -53,6 +59,34 @@ serve-race:
 # worker-count-invariance suite.
 faults:
 	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth|Determinism|SameSeed|Swarm' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/ ./internal/netem/ ./internal/swarm/
+
+# Short-mode benchmark suite behind the regression gate: the same four
+# producers as the full `make bench` (serving storm, swarm simulation,
+# adversary training, dataset evaluation), sized to finish in about a minute
+# so CI can afford to rerun them on every push. Each writes a unified-schema
+# BENCH_<area>.json (DESIGN.md §8.6) into the directory given as $(1).
+define bench_short
+	mkdir -p $(1)
+	$(GO) run ./cmd/serve -n 60000 -batch 32 -storm 64 -json $(1)/BENCH_serve.json
+	$(GO) run ./cmd/swarm -clients 4000 -groups 64 -capacity 40 -protocol bb,rate,bola -json $(1)/BENCH_swarm.json
+	$(GO) run ./cmd/advtrain -domain abr -target bb -iters 6 -o $(1)/adversary.json -bench-json $(1)/BENCH_train.json
+	$(GO) run ./cmd/abreval -generate 24 -protocols bb,rate,bola -bench-json $(1)/BENCH_eval.json
+endef
+
+bench-short:
+	$(call bench_short,$(BENCH_FRESH_DIR))
+
+# Regression gate: rerun the short-mode suite and judge it against the
+# committed baselines. Exits non-zero when any regression-gated metric moved
+# beyond its tolerance in the bad direction (or a report failed to produce).
+bench-diff: bench-short
+	$(GO) run ./cmd/benchdiff -baseline-dir $(BENCH_BASELINE_DIR) -fresh-dir $(BENCH_FRESH_DIR)
+
+# Re-baseline after an intentional performance change: rerun the short-mode
+# suite straight into bench/baselines/ and commit the result.
+bench-baseline:
+	$(call bench_short,$(BENCH_BASELINE_DIR))
+	@rm -f $(BENCH_BASELINE_DIR)/adversary.json
 
 # Tier-1 verification: build + tests, plus vet and the race detector.
 verify: build vet test race

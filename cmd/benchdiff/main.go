@@ -1,0 +1,101 @@
+// Command benchdiff compares fresh benchmark telemetry against a committed
+// baseline and fails when a regression-gated metric moved beyond its
+// tolerance in the bad direction. Both sides are BENCH_<area>.json documents
+// in the unified schema (DESIGN.md §8.6); the baseline carries the rules
+// (direction, tolerance), so adding a gate is a baseline edit, not a code
+// change.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/baselines/BENCH_serve.json -fresh /tmp/BENCH_serve.json
+//	benchdiff -baseline-dir bench/baselines -fresh-dir /tmp/bench
+//
+// Directory mode pairs every BENCH_*.json in the baseline directory with the
+// same filename in the fresh directory; a missing fresh file is a failure
+// (the bench that produced it regressed into not running at all). Exit
+// status: 0 all areas within tolerance, 1 any regression, missing metric, or
+// schema mismatch, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"advnet/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	baseline := fs.String("baseline", "", "baseline BENCH_<area>.json")
+	fresh := fs.String("fresh", "", "fresh BENCH_<area>.json to judge against -baseline")
+	baselineDir := fs.String("baseline-dir", "", "directory of committed baselines (pairs every BENCH_*.json with -fresh-dir)")
+	freshDir := fs.String("fresh-dir", "", "directory of freshly produced reports")
+	tol := fs.Float64("tol", metrics.DefaultTolerance, "relative tolerance for metrics whose baseline rule does not set one")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	type pair struct{ base, fresh string }
+	var pairs []pair
+	switch {
+	case *baseline != "" && *fresh != "":
+		pairs = []pair{{*baseline, *fresh}}
+	case *baselineDir != "" && *freshDir != "":
+		matches, err := filepath.Glob(filepath.Join(*baselineDir, "BENCH_*.json"))
+		if err != nil || len(matches) == 0 {
+			fmt.Fprintf(stdout, "benchdiff: no BENCH_*.json baselines in %s\n", *baselineDir)
+			return 2
+		}
+		sort.Strings(matches)
+		for _, m := range matches {
+			pairs = append(pairs, pair{m, filepath.Join(*freshDir, filepath.Base(m))})
+		}
+	default:
+		fmt.Fprintln(stdout, "benchdiff: need -baseline FILE -fresh FILE, or -baseline-dir DIR -fresh-dir DIR")
+		fs.Usage()
+		return 2
+	}
+
+	failed := false
+	for _, p := range pairs {
+		base, err := metrics.ReadReport(p.base)
+		if err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
+			return 2
+		}
+		fr, err := metrics.ReadReport(p.fresh)
+		if err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %s: missing or unreadable fresh report (%v) — FAIL\n", p.fresh, err)
+			failed = true
+			continue
+		}
+		d, err := metrics.Compare(base, fr, *tol)
+		if err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %s vs %s: %v — FAIL\n", p.base, p.fresh, err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(stdout, "== %s (%s vs %s)\n", d.Area, p.base, p.fresh)
+		fmt.Fprint(stdout, d.Table())
+		if n := d.Regressions(); n > 0 {
+			fmt.Fprintf(stdout, "%d regression(s) in area %s\n", n, d.Area)
+			failed = true
+		}
+		fmt.Fprintln(stdout)
+	}
+	if failed {
+		fmt.Fprintln(stdout, "benchdiff: FAIL")
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchdiff: OK")
+	return 0
+}

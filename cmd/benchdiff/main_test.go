@@ -1,0 +1,83 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"advnet/internal/metrics"
+)
+
+// writeReport produces a serve-shaped BENCH report with the given headline
+// throughput and p99-ish latency distribution scale.
+func writeReport(t *testing.T, path string, rps float64) {
+	t.Helper()
+	reg := metrics.NewRegistry("serve")
+	reg.SetConfig("storm", 64)
+	reg.SetMetric("throughput_rps", rps, metrics.HigherIsBetter("req/s"))
+	reg.SetMetric("wall_seconds", 1.5, metrics.Info("s"))
+	if err := reg.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOKWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base, fresh := filepath.Join(dir, "base.json"), filepath.Join(dir, "fresh.json")
+	writeReport(t, base, 100_000)
+	writeReport(t, fresh, 95_000) // -5%, inside the default 50% tolerance
+	var out strings.Builder
+	if code := run([]string{"-baseline", base, "-fresh", fresh}, &out); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "benchdiff: OK") {
+		t.Fatalf("missing OK line:\n%s", out.String())
+	}
+}
+
+// TestRunInjectedRegressionExitsNonZero is the acceptance check for the
+// bench-diff gate: a throughput collapse beyond tolerance must flip the exit
+// status, because that exit status is what fails the CI job.
+func TestRunInjectedRegressionExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	base, fresh := filepath.Join(dir, "base.json"), filepath.Join(dir, "fresh.json")
+	writeReport(t, base, 100_000)
+	writeReport(t, fresh, 30_000) // -70% throughput: a regression
+	var out strings.Builder
+	code := run([]string{"-baseline", base, "-fresh", fresh}, &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "benchdiff: FAIL") {
+		t.Fatalf("missing regression report:\n%s", out.String())
+	}
+}
+
+func TestRunDirModePairsBaselines(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	writeReport(t, filepath.Join(baseDir, "BENCH_serve.json"), 100_000)
+	writeReport(t, filepath.Join(freshDir, "BENCH_serve.json"), 110_000)
+	var out strings.Builder
+	if code := run([]string{"-baseline-dir", baseDir, "-fresh-dir", freshDir}, &out); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestRunDirModeMissingFreshFails(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	writeReport(t, filepath.Join(baseDir, "BENCH_serve.json"), 100_000)
+	var out strings.Builder
+	if code := run([]string{"-baseline-dir", baseDir, "-fresh-dir", freshDir}, &out); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if code := run(nil, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-baseline-dir", t.TempDir(), "-fresh-dir", t.TempDir()}, &out); code != 2 {
+		t.Fatalf("empty baseline dir: exit %d, want 2", code)
+	}
+}

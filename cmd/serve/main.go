@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,39 +20,12 @@ import (
 	"time"
 
 	"advnet/internal/abr"
-	"advnet/internal/fsx"
 	"advnet/internal/mathx"
+	"advnet/internal/metrics"
 	"advnet/internal/nn"
 	"advnet/internal/rl"
 	"advnet/internal/serve"
-	"advnet/internal/stats"
 )
-
-// report is the BENCH_serve.json schema.
-type report struct {
-	Config struct {
-		Workers   int     `json:"workers"`
-		MaxBatch  int     `json:"max_batch"`
-		MaxWaitUs float64 `json:"max_wait_us"`
-		Storm     int     `json:"storm"`
-		Requests  int     `json:"requests"`
-		Arch      []int   `json:"arch"`
-		Policy    string  `json:"policy,omitempty"`
-	} `json:"config"`
-	Engine struct {
-		Served        uint64        `json:"served"`
-		Batches       uint64        `json:"batches"`
-		AvgBatch      float64       `json:"avg_batch"`
-		ThroughputRPS float64       `json:"throughput_rps"`
-		WallSeconds   float64       `json:"wall_seconds"`
-		LatencyUs     stats.Summary `json:"latency_us"`
-	} `json:"engine"`
-	Baseline struct {
-		Requests      int     `json:"requests"`
-		ThroughputRPS float64 `json:"throughput_rps"`
-	} `json:"baseline"`
-	Speedup float64 `json:"speedup"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -121,36 +93,32 @@ func main() {
 	}
 	bWall := time.Since(bStart)
 
-	var r report
-	r.Config.Workers = st.Workers
-	r.Config.MaxBatch = *batch
-	r.Config.MaxWaitUs = float64(*wait) / float64(time.Microsecond)
-	r.Config.Storm = *storm
-	r.Config.Requests = perClient * *storm
-	r.Config.Arch = net.Sizes()
-	r.Config.Policy = *policyPath
-	r.Engine.Served = st.Served
-	r.Engine.Batches = st.Batches
-	r.Engine.AvgBatch = st.AvgBatch
-	r.Engine.WallSeconds = wall.Seconds()
-	r.Engine.ThroughputRPS = float64(st.Served) / wall.Seconds()
-	r.Engine.LatencyUs = st.Latency
-	r.Baseline.Requests = baseN
-	r.Baseline.ThroughputRPS = float64(baseN) / bWall.Seconds()
-	r.Speedup = r.Engine.ThroughputRPS / r.Baseline.ThroughputRPS
+	// BENCH_serve.json under the unified schema (DESIGN.md §8.6).
+	reg := metrics.NewRegistry("serve")
+	reg.SetConfig("workers", st.Workers)
+	reg.SetConfig("max_batch", *batch)
+	reg.SetConfig("max_wait_us", float64(*wait)/float64(time.Microsecond))
+	reg.SetConfig("storm", *storm)
+	reg.SetConfig("requests", perClient**storm)
+	reg.SetConfig("arch", net.Sizes())
+	if *policyPath != "" {
+		reg.SetConfig("policy", *policyPath)
+	}
+	st.EmitMetrics(reg, wall.Seconds())
+	engineRPS := float64(st.Served) / wall.Seconds()
+	baselineRPS := float64(baseN) / bWall.Seconds()
+	reg.SetMetric("baseline_requests", float64(baseN), metrics.Info("requests"))
+	reg.SetMetric("baseline_rps", baselineRPS, metrics.Info("req/s"))
+	reg.SetMetric("speedup_over_predict", engineRPS/baselineRPS, metrics.HigherIsBetter("x"))
 
 	fmt.Printf("engine:   %.0f req/s over %d requests (workers=%d batch≤%d avg batch %.1f)\n",
-		r.Engine.ThroughputRPS, st.Served, st.Workers, *batch, st.AvgBatch)
+		engineRPS, st.Served, st.Workers, *batch, st.AvgBatch)
 	fmt.Printf("latency:  %s (µs, enqueue→computed)\n", st.Latency)
-	fmt.Printf("baseline: %.0f req/s single-request Predict\n", r.Baseline.ThroughputRPS)
-	fmt.Printf("speedup:  %.2fx\n", r.Speedup)
+	fmt.Printf("baseline: %.0f req/s single-request Predict\n", baselineRPS)
+	fmt.Printf("speedup:  %.2fx\n", engineRPS/baselineRPS)
 
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(r, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := fsx.WriteFileAtomic(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := reg.WriteJSON(*jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("report:   %s\n", *jsonOut)

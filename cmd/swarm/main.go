@@ -12,7 +12,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,47 +21,11 @@ import (
 
 	"advnet/internal/abr"
 	"advnet/internal/cc"
-	"advnet/internal/fsx"
+	"advnet/internal/metrics"
 	"advnet/internal/netem"
-	"advnet/internal/stats"
 	"advnet/internal/swarm"
 	"advnet/internal/trace"
 )
-
-// report is the BENCH_swarm.json schema.
-type report struct {
-	Config struct {
-		Clients      int     `json:"clients"`
-		Groups       int     `json:"groups"`
-		Workers      int     `json:"workers"`
-		Seed         uint64  `json:"seed"`
-		Protocol     string  `json:"protocol"`
-		Backend      string  `json:"backend"`
-		CC           string  `json:"cc,omitempty"`
-		CapacityMbps float64 `json:"capacity_mbps"`
-		Traces       string  `json:"traces,omitempty"`
-		Chunks       int     `json:"chunks"`
-	} `json:"config"`
-	Swarm struct {
-		CompletedClients int     `json:"completed_clients"`
-		FailedGroups     []int   `json:"failed_groups,omitempty"`
-		Events           uint64  `json:"events"`
-		VirtualSeconds   float64 `json:"virtual_seconds"`
-		WallSeconds      float64 `json:"wall_seconds"`
-		EventsPerSec     float64 `json:"events_per_sec"`
-		SpeedupOverReal  float64 `json:"speedup_over_realtime"`
-	} `json:"swarm"`
-	QoE struct {
-		PerChunk  stats.Summary `json:"per_chunk"`
-		PerClient stats.Summary `json:"per_client"`
-		Rebuffer  stats.Summary `json:"rebuffer_s_per_client"`
-		Bits      stats.Summary `json:"bits_per_client"`
-	} `json:"qoe"`
-	Fairness struct {
-		Jain      float64       `json:"jain"`
-		GroupJain stats.Summary `json:"group_jain"`
-	} `json:"fairness"`
-}
 
 // protocolFactory parses a protocol spec: one name, a comma-separated list
 // (clients round-robin through it), or "mixed" (= bb,rate,bola,mpc — note
@@ -185,40 +148,33 @@ func main() {
 		log.Printf("swarm: %d group(s) failed: %v", len(res.FailedGroups), err)
 	}
 
-	var r report
-	r.Config.Clients = *clients
-	r.Config.Groups = *groups
+	// BENCH_swarm.json under the unified schema (DESIGN.md §8.6).
+	reg := metrics.NewRegistry("swarm")
+	reg.SetConfig("clients", *clients)
+	reg.SetConfig("groups", *groups)
 	if *workers > 0 {
-		r.Config.Workers = *workers
+		reg.SetConfig("workers", *workers)
 	} else {
-		r.Config.Workers = runtime.GOMAXPROCS(0)
+		reg.SetConfig("workers", runtime.GOMAXPROCS(0))
 	}
-	r.Config.Seed = *seed
-	r.Config.Protocol = *protocol
-	r.Config.Backend = *backend
+	reg.SetConfig("seed", *seed)
+	reg.SetConfig("protocol", *protocol)
+	reg.SetConfig("backend", *backend)
 	if *backend == "netem" {
-		r.Config.CC = *ccName
+		reg.SetConfig("cc", *ccName)
 	}
-	r.Config.CapacityMbps = *capacity
-	r.Config.Traces = *tracesPath
-	r.Config.Chunks = *chunks
-	r.Swarm.CompletedClients = res.CompletedClients
-	r.Swarm.FailedGroups = res.FailedGroups
-	r.Swarm.Events = res.Events
-	r.Swarm.VirtualSeconds = res.VirtualSeconds
-	r.Swarm.WallSeconds = wall.Seconds()
-	r.Swarm.EventsPerSec = float64(res.Events) / wall.Seconds()
-	r.Swarm.SpeedupOverReal = res.VirtualSeconds / wall.Seconds()
-	r.QoE.PerChunk = res.QoEPerChunk
-	r.QoE.PerClient = res.QoEPerClient
-	r.QoE.Rebuffer = res.RebufferPerClient
-	r.QoE.Bits = res.BitsPerClient
-	r.Fairness.Jain = res.Jain
-	r.Fairness.GroupJain = res.GroupJain
+	reg.SetConfig("capacity_mbps", *capacity)
+	if *tracesPath != "" {
+		reg.SetConfig("traces", *tracesPath)
+	}
+	reg.SetConfig("chunks", *chunks)
+	res.EmitMetrics(reg, wall.Seconds())
 
+	speedup := res.VirtualSeconds / wall.Seconds()
+	eventsPerSec := float64(res.Events) / wall.Seconds()
 	fmt.Printf("swarm:    %d clients / %d groups completed in %.2fs wall (%.0fs virtual, %.0fx real time)\n",
-		res.CompletedClients, *groups-len(res.FailedGroups), wall.Seconds(), res.VirtualSeconds, r.Swarm.SpeedupOverReal)
-	fmt.Printf("events:   %d (%.0f events/s)\n", res.Events, r.Swarm.EventsPerSec)
+		res.CompletedClients, *groups-len(res.FailedGroups), wall.Seconds(), res.VirtualSeconds, speedup)
+	fmt.Printf("events:   %d (%.0f events/s)\n", res.Events, eventsPerSec)
 	fmt.Printf("qoe:      per-client mean %.3f p50 %.3f p95 %.3f\n",
 		res.QoEPerClient.Mean, res.QoEPerClient.P50, res.QoEPerClient.P95)
 	fmt.Printf("rebuffer: per-client mean %.2fs p95 %.2fs\n",
@@ -226,11 +182,7 @@ func main() {
 	fmt.Printf("fairness: Jain %.4f (per-group p50 %.4f)\n", res.Jain, res.GroupJain.P50)
 
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(r, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := fsx.WriteFileAtomic(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := reg.WriteJSON(*jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("report:   %s\n", *jsonOut)

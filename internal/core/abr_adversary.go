@@ -293,6 +293,11 @@ type ABRTrainOptions struct {
 	// though not bit-for-bit an uninterrupted run. Incompatible with
 	// Restarts > 1 (one directory cannot hold several independent runs).
 	Checkpoint rl.CheckpointConfig
+	// Metrics, when non-nil, attaches training telemetry (iteration
+	// counter, rollout/update timers) to the trainer. With Restarts > 1
+	// every restart observes into the same instruments, so the timers
+	// aggregate across the whole selection run.
+	Metrics *rl.TrainMetrics
 }
 
 // DefaultABRTrainOptions returns settings sized for the repository's
@@ -361,6 +366,7 @@ func trainABRAdversaryOnce(video *abr.Video, target abr.Protocol, cfg ABRAdversa
 	if err != nil {
 		return nil, nil, err
 	}
+	ppo.SetMetrics(opt.Metrics)
 	if opt.Workers > 1 {
 		factory, err := ABREnvFactory(video, target, cfg, opt.Workers)
 		if err != nil {

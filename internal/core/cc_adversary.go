@@ -266,6 +266,9 @@ type CCTrainOptions struct {
 	// so a resumed run abandons any half-collected episode — valid
 	// training, though not bit-for-bit an uninterrupted run.
 	Checkpoint rl.CheckpointConfig
+	// Metrics, when non-nil, attaches training telemetry (iteration
+	// counter, rollout/update timers) to the trainer.
+	Metrics *rl.TrainMetrics
 }
 
 // DefaultCCTrainOptions returns settings sized for the repository's
@@ -297,6 +300,7 @@ func TrainCCAdversary(newCC func() netem.CongestionController, cfg CCAdversaryCo
 	if err != nil {
 		return nil, nil, err
 	}
+	ppo.SetMetrics(opt.Metrics)
 	if opt.Workers > 1 {
 		factory := CCEnvFactory(newCC, cfg, rng, opt.Workers)
 		v, err := rl.NewVecRunner(ppo, factory, opt.Workers)

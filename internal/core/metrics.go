@@ -1,0 +1,38 @@
+package core
+
+import (
+	"time"
+
+	"advnet/internal/abr"
+	"advnet/internal/metrics"
+	"advnet/internal/stats"
+	"advnet/internal/trace"
+)
+
+// EvaluateABRMetered is EvaluateABR with telemetry: it times the evaluation
+// pass and records per-protocol throughput and the QoE distribution into reg
+// under the unified BENCH schema (DESIGN.md §8.6). The returned QoE slice is
+// identical to EvaluateABR's — the instrumentation is wall-clock only and
+// never touches the evaluation's RNG or worker scheduling.
+func EvaluateABRMetered(reg *metrics.Registry, video *abr.Video, dataset *trace.Dataset, p abr.Protocol, rttS float64, workers int) ([]float64, error) {
+	t0 := time.Now()
+	qoe, err := EvaluateABR(video, dataset, p, rttS, workers)
+	if err != nil {
+		return nil, err
+	}
+	EmitEvalMetrics(reg, p.Name(), qoe, time.Since(t0).Seconds())
+	return qoe, nil
+}
+
+// EmitEvalMetrics records one protocol's evaluation pass: trace throughput as
+// a regression-gated scalar and the per-trace QoE values as an informational
+// distribution (QoE levels are workload-defined; golden tests pin them, a
+// perf tolerance gate does not). Metric names are suffixed with the protocol
+// name so one eval report can carry several protocols side by side.
+func EmitEvalMetrics(reg *metrics.Registry, protocol string, qoe []float64, wallSeconds float64) {
+	reg.SetMetric("eval_wall_s_"+protocol, wallSeconds, metrics.Info("s"))
+	if wallSeconds > 0 {
+		reg.SetMetric("traces_per_sec_"+protocol, float64(len(qoe))/wallSeconds, metrics.HigherIsBetter("traces/s"))
+	}
+	reg.SetDistribution("qoe_"+protocol, stats.SummarizeValues(qoe), metrics.Info("qoe"))
+}

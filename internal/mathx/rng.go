@@ -4,7 +4,10 @@
 // through RNG so that experiments are reproducible bit-for-bit from a seed.
 package mathx
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic pseudo-random number generator based on the
 // SplitMix64 sequence. It is small, fast, has a full 2^64 period, and — unlike
@@ -77,11 +80,39 @@ func (r *RNG) Uniform(lo, hi float64) float64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+// Intn keeps the historical modulo reduction: its output stream is pinned
+// bitwise by the golden training fingerprints, and for the small n the
+// trainers draw (minibatch permutations, trace indices) the modulo bias is
+// O(n/2^64). New code that needs an exactly uniform bounded draw should use
+// Uint64n.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("mathx: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n) with no modulo bias for any n
+// (Lemire's multiply-shift bounded draw with rejection of the short
+// low-product window). It panics if n == 0. Unlike Intn it consumes a
+// variable number of Uint64 draws — on average barely more than one — so it
+// is not a drop-in replacement where the draw count is pinned by golden
+// streams.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("mathx: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		// Reject draws landing in the 2^64 mod n leftover window so every
+		// residue class is hit by exactly floor(2^64/n) inputs.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
 }
 
 // Norm returns a standard normal deviate (mean 0, stddev 1) using the

@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SchemaMismatchError reports baseline and fresh documents written under
+// different schema versions — a comparison that would be meaningless, so
+// it is an error rather than a row in the table.
+type SchemaMismatchError struct {
+	Baseline, Fresh int
+}
+
+func (e *SchemaMismatchError) Error() string {
+	return fmt.Sprintf("metrics: schema version mismatch: baseline v%d vs fresh v%d (regenerate the baseline)", e.Baseline, e.Fresh)
+}
+
+// Status classifies one metric's move between baseline and fresh.
+type Status string
+
+const (
+	// StatusOK: within tolerance of the baseline.
+	StatusOK Status = "ok"
+	// StatusImproved: moved beyond tolerance in the good direction.
+	StatusImproved Status = "improved"
+	// StatusRegressed: moved beyond tolerance in the bad direction. Fails
+	// the diff.
+	StatusRegressed Status = "regressed"
+	// StatusMissing: present in the baseline, absent from the fresh run.
+	// Fails the diff — a silently dropped metric must not pass CI.
+	StatusMissing Status = "missing"
+	// StatusNew: present only in the fresh run (reported, never fails;
+	// commit a new baseline to start tracking it).
+	StatusNew Status = "new"
+	// StatusInfo: informational metric (direction "none"), never fails.
+	StatusInfo Status = "info"
+)
+
+// MetricDelta is one row of the trajectory table.
+type MetricDelta struct {
+	Name      string
+	Direction Direction
+	Tolerance float64
+	Baseline  float64
+	Fresh     float64
+	// RelDelta is (fresh-baseline)/|baseline|; ±Inf when the baseline is
+	// zero and the fresh value is not.
+	RelDelta float64
+	Status   Status
+}
+
+// Diff is the comparison of one fresh report against its baseline.
+type Diff struct {
+	Area   string
+	Deltas []MetricDelta
+	// ConfigDrift lists config keys whose baseline and fresh values
+	// render differently — a warning that the runs may not be comparable.
+	ConfigDrift []string
+}
+
+// Compare diffs a fresh report against its baseline. Every metric the
+// baseline names must appear in the fresh run (missing ⇒ failure); each is
+// judged by the baseline's direction and tolerance (fresh-side rules are
+// ignored — the committed baseline is the contract). defaultTol fills in
+// for directional metrics whose rule has no tolerance; <= 0 means
+// DefaultTolerance. Distributions with a direction are compared on their
+// mean, p50, p95, and p99 as "name.p99"-style sub-metrics; informational
+// distributions contribute a single info row on the mean.
+func Compare(baseline, fresh *Report, defaultTol float64) (*Diff, error) {
+	if baseline.SchemaVersion != fresh.SchemaVersion {
+		return nil, &SchemaMismatchError{Baseline: baseline.SchemaVersion, Fresh: fresh.SchemaVersion}
+	}
+	if baseline.SchemaVersion != SchemaVersion {
+		return nil, &SchemaMismatchError{Baseline: baseline.SchemaVersion, Fresh: SchemaVersion}
+	}
+	if baseline.Area != fresh.Area {
+		return nil, fmt.Errorf("metrics: area mismatch: baseline %q vs fresh %q", baseline.Area, fresh.Area)
+	}
+	if defaultTol <= 0 {
+		defaultTol = DefaultTolerance
+	}
+	d := &Diff{Area: baseline.Area}
+
+	// Scalars, baseline-driven.
+	for _, name := range baseline.MetricNames() {
+		b := baseline.Metrics[name]
+		f, ok := fresh.Metrics[name]
+		if !ok {
+			d.Deltas = append(d.Deltas, MetricDelta{
+				Name: name, Direction: b.Direction, Baseline: b.Value,
+				Fresh: math.NaN(), RelDelta: math.NaN(), Status: StatusMissing,
+			})
+			continue
+		}
+		d.Deltas = append(d.Deltas, judge(name, b.Rule, b.Value, f.Value, defaultTol))
+	}
+	// Fresh-only scalars.
+	for _, name := range fresh.MetricNames() {
+		if _, ok := baseline.Metrics[name]; !ok {
+			f := fresh.Metrics[name]
+			d.Deltas = append(d.Deltas, MetricDelta{
+				Name: name, Direction: f.Direction, Baseline: math.NaN(),
+				Fresh: f.Value, RelDelta: math.NaN(), Status: StatusNew,
+			})
+		}
+	}
+
+	// Distributions, baseline-driven.
+	for _, name := range baseline.DistributionNames() {
+		b := baseline.Distributions[name]
+		f, ok := fresh.Distributions[name]
+		if !ok {
+			d.Deltas = append(d.Deltas, MetricDelta{
+				Name: name, Direction: b.Direction, Baseline: b.Mean,
+				Fresh: math.NaN(), RelDelta: math.NaN(), Status: StatusMissing,
+			})
+			continue
+		}
+		if b.Direction == Higher || b.Direction == Lower {
+			for _, stat := range []struct {
+				suffix string
+				bv, fv float64
+			}{
+				{"mean", b.Mean, f.Mean},
+				{"p50", b.P50, f.P50},
+				{"p95", b.P95, f.P95},
+				{"p99", b.P99, f.P99},
+			} {
+				d.Deltas = append(d.Deltas, judge(name+"."+stat.suffix, b.Rule, stat.bv, stat.fv, defaultTol))
+			}
+		} else {
+			d.Deltas = append(d.Deltas, judge(name+".mean", b.Rule, b.Mean, f.Mean, defaultTol))
+		}
+	}
+	// Fresh-only distributions.
+	for _, name := range fresh.DistributionNames() {
+		if _, ok := baseline.Distributions[name]; !ok {
+			f := fresh.Distributions[name]
+			d.Deltas = append(d.Deltas, MetricDelta{
+				Name: name, Direction: f.Direction, Baseline: math.NaN(),
+				Fresh: f.Mean, RelDelta: math.NaN(), Status: StatusNew,
+			})
+		}
+	}
+
+	// Config drift (rendered comparison: config values are free-form).
+	keys := map[string]bool{}
+	for k := range baseline.Config {
+		keys[k] = true
+	}
+	for k := range fresh.Config {
+		keys[k] = true
+	}
+	for k := range keys {
+		if fmt.Sprint(baseline.Config[k]) != fmt.Sprint(fresh.Config[k]) {
+			d.ConfigDrift = append(d.ConfigDrift, k)
+		}
+	}
+	sort.Strings(d.ConfigDrift)
+	return d, nil
+}
+
+// judge classifies one scalar move under the baseline's rule.
+func judge(name string, rule Rule, base, fresh, defaultTol float64) MetricDelta {
+	md := MetricDelta{
+		Name: name, Direction: rule.Direction,
+		Baseline: base, Fresh: fresh,
+	}
+	switch {
+	case base != 0:
+		md.RelDelta = (fresh - base) / math.Abs(base)
+	case fresh == 0:
+		md.RelDelta = 0
+	case fresh > 0:
+		md.RelDelta = math.Inf(1)
+	default:
+		md.RelDelta = math.Inf(-1)
+	}
+	if rule.Direction != Higher && rule.Direction != Lower {
+		md.Status = StatusInfo
+		return md
+	}
+	tol := rule.Tolerance
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	md.Tolerance = tol
+	bad := md.RelDelta < -tol // direction Higher: a big drop is bad
+	good := md.RelDelta > tol
+	if rule.Direction == Lower {
+		bad, good = md.RelDelta > tol, md.RelDelta < -tol
+	}
+	switch {
+	case bad:
+		md.Status = StatusRegressed
+	case good:
+		md.Status = StatusImproved
+	default:
+		md.Status = StatusOK
+	}
+	return md
+}
+
+// Regressions counts rows that fail the diff (regressed or missing).
+func (d *Diff) Regressions() int {
+	n := 0
+	for _, md := range d.Deltas {
+		if md.Status == StatusRegressed || md.Status == StatusMissing {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether the fresh run passes against the baseline.
+func (d *Diff) OK() bool { return d.Regressions() == 0 }
+
+// Table renders the trajectory table: one aligned row per metric with the
+// baseline value, the fresh value, the relative move, and its status.
+func (d *Diff) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %14s %14s %9s  %s\n", "metric ("+d.Area+")", "baseline", "fresh", "delta", "status")
+	for _, md := range d.Deltas {
+		delta := "-"
+		if !math.IsNaN(md.RelDelta) {
+			if math.IsInf(md.RelDelta, 0) {
+				delta = fmt.Sprintf("%+.0f", md.RelDelta)
+			} else {
+				delta = fmt.Sprintf("%+.1f%%", 100*md.RelDelta)
+			}
+		}
+		status := string(md.Status)
+		if md.Status == StatusRegressed || md.Status == StatusMissing {
+			status = strings.ToUpper(status)
+		}
+		fmt.Fprintf(&b, "%-40s %14s %14s %9s  %s\n",
+			md.Name, fmtVal(md.Baseline), fmtVal(md.Fresh), delta, status)
+	}
+	if len(d.ConfigDrift) > 0 {
+		fmt.Fprintf(&b, "config drift: %s\n", strings.Join(d.ConfigDrift, ", "))
+	}
+	return b.String()
+}
+
+// fmtVal renders one table value compactly.
+func fmtVal(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}

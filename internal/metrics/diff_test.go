@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"advnet/internal/stats"
+)
+
+// mkReport builds a minimal report with one directional throughput metric,
+// one directional latency distribution, and one informational scalar.
+func mkReport(rps, p99, wall float64) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Area:          "serve",
+		Config:        map[string]any{"workers": 4},
+		Metrics: map[string]Scalar{
+			"throughput_rps": {Rule: Rule{Direction: Higher, Tolerance: 0.2, Unit: "req/s"}, Value: rps},
+			"wall_seconds":   {Rule: Rule{Direction: None, Unit: "s"}, Value: wall},
+		},
+		Distributions: map[string]Dist{
+			"latency_us": {
+				Rule:    Rule{Direction: Lower, Tolerance: 0.2, Unit: "us"},
+				Summary: stats.Summary{Count: 100, Mean: p99 / 2, Min: 1, P50: p99 / 2, P95: p99 * 0.9, P99: p99, Max: p99 * 2},
+			},
+		},
+	}
+}
+
+func statusOf(t *testing.T, d *Diff, name string) Status {
+	t.Helper()
+	for _, md := range d.Deltas {
+		if md.Name == name {
+			return md.Status
+		}
+	}
+	t.Fatalf("metric %q not in diff", name)
+	return ""
+}
+
+// TestCompareMatrix covers the full outcome matrix the benchdiff gate is
+// built on: improvement, within-tolerance, regression (both directions),
+// missing metric, and schema-version mismatch.
+func TestCompareMatrix(t *testing.T) {
+	base := mkReport(1000, 100, 1.0)
+
+	t.Run("within-tolerance", func(t *testing.T) {
+		d, err := Compare(base, mkReport(900, 110, 2.0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.OK() {
+			t.Fatalf("10%% moves within a 20%% tolerance must pass:\n%s", d.Table())
+		}
+		if got := statusOf(t, d, "throughput_rps"); got != StatusOK {
+			t.Fatalf("throughput status %s", got)
+		}
+		// Informational metric doubled: reported, never failed.
+		if got := statusOf(t, d, "wall_seconds"); got != StatusInfo {
+			t.Fatalf("wall status %s", got)
+		}
+	})
+
+	t.Run("improvement", func(t *testing.T) {
+		d, err := Compare(base, mkReport(2000, 50, 1.0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.OK() {
+			t.Fatalf("improvements must pass:\n%s", d.Table())
+		}
+		if got := statusOf(t, d, "throughput_rps"); got != StatusImproved {
+			t.Fatalf("throughput status %s", got)
+		}
+		if got := statusOf(t, d, "latency_us.p99"); got != StatusImproved {
+			t.Fatalf("latency status %s", got)
+		}
+	})
+
+	t.Run("throughput-regression", func(t *testing.T) {
+		d, err := Compare(base, mkReport(500, 100, 1.0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.OK() {
+			t.Fatalf("-50%% throughput beyond 20%% tolerance must fail:\n%s", d.Table())
+		}
+		if got := statusOf(t, d, "throughput_rps"); got != StatusRegressed {
+			t.Fatalf("throughput status %s", got)
+		}
+	})
+
+	t.Run("latency-regression", func(t *testing.T) {
+		d, err := Compare(base, mkReport(1000, 200, 1.0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.OK() {
+			t.Fatalf("2x p99 must fail:\n%s", d.Table())
+		}
+		if got := statusOf(t, d, "latency_us.p99"); got != StatusRegressed {
+			t.Fatalf("latency status %s", got)
+		}
+		if !strings.Contains(d.Table(), "REGRESSED") {
+			t.Fatalf("table does not shout the regression:\n%s", d.Table())
+		}
+	})
+
+	t.Run("missing-metric", func(t *testing.T) {
+		fresh := mkReport(1000, 100, 1.0)
+		delete(fresh.Metrics, "throughput_rps")
+		d, err := Compare(base, fresh, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.OK() {
+			t.Fatalf("a dropped metric must fail:\n%s", d.Table())
+		}
+		if got := statusOf(t, d, "throughput_rps"); got != StatusMissing {
+			t.Fatalf("status %s", got)
+		}
+	})
+
+	t.Run("missing-distribution", func(t *testing.T) {
+		fresh := mkReport(1000, 100, 1.0)
+		delete(fresh.Distributions, "latency_us")
+		d, err := Compare(base, fresh, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.OK() || statusOf(t, d, "latency_us") != StatusMissing {
+			t.Fatalf("dropped distribution must fail:\n%s", d.Table())
+		}
+	})
+
+	t.Run("new-metric-passes", func(t *testing.T) {
+		fresh := mkReport(1000, 100, 1.0)
+		fresh.Metrics["extra"] = Scalar{Rule: HigherIsBetter("x"), Value: 1}
+		d, err := Compare(base, fresh, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.OK() || statusOf(t, d, "extra") != StatusNew {
+			t.Fatalf("fresh-only metric must report as new and pass:\n%s", d.Table())
+		}
+	})
+
+	t.Run("schema-version-mismatch", func(t *testing.T) {
+		fresh := mkReport(1000, 100, 1.0)
+		fresh.SchemaVersion = SchemaVersion + 1
+		if _, err := Compare(base, fresh, 0); err == nil {
+			t.Fatal("no error for schema mismatch")
+		} else if _, ok := err.(*SchemaMismatchError); !ok {
+			t.Fatalf("error type %T: %v", err, err)
+		}
+	})
+
+	t.Run("area-mismatch", func(t *testing.T) {
+		fresh := mkReport(1000, 100, 1.0)
+		fresh.Area = "swarm"
+		if _, err := Compare(base, fresh, 0); err == nil {
+			t.Fatal("no error for area mismatch")
+		}
+	})
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := mkReport(1000, 100, 1.0)
+	base.Metrics["zero"] = Scalar{Rule: Rule{Direction: Higher, Tolerance: 0.2}, Value: 0}
+	fresh := mkReport(1000, 100, 1.0)
+	fresh.Metrics["zero"] = Scalar{Rule: Rule{Direction: Higher, Tolerance: 0.2}, Value: 5}
+	d, err := Compare(base, fresh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := func() MetricDelta {
+		for _, m := range d.Deltas {
+			if m.Name == "zero" {
+				return m
+			}
+		}
+		t.Fatal("zero metric missing")
+		return MetricDelta{}
+	}()
+	if !math.IsInf(md.RelDelta, 1) || md.Status != StatusImproved {
+		t.Fatalf("zero-baseline growth: %+v", md)
+	}
+}
+
+func TestCompareDefaultTolerance(t *testing.T) {
+	// Rule with no tolerance: the differ's default fills in.
+	base := &Report{SchemaVersion: SchemaVersion, Area: "x",
+		Metrics: map[string]Scalar{"m": {Rule: Rule{Direction: Higher}, Value: 100}}}
+	fresh := &Report{SchemaVersion: SchemaVersion, Area: "x",
+		Metrics: map[string]Scalar{"m": {Rule: Rule{Direction: Higher}, Value: 60}}}
+	d, err := Compare(base, fresh, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("-40%% within default 50%%:\n%s", d.Table())
+	}
+	d, err = Compare(base, fresh, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("-40%% beyond default 30%% must fail:\n%s", d.Table())
+	}
+}
+
+func TestCompareConfigDrift(t *testing.T) {
+	base := mkReport(1000, 100, 1.0)
+	fresh := mkReport(1000, 100, 1.0)
+	fresh.Config["workers"] = 8
+	d, err := Compare(base, fresh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ConfigDrift) != 1 || d.ConfigDrift[0] != "workers" {
+		t.Fatalf("drift %v", d.ConfigDrift)
+	}
+	if !strings.Contains(d.Table(), "config drift") {
+		t.Fatalf("table hides drift:\n%s", d.Table())
+	}
+}

@@ -1,0 +1,151 @@
+// Package metrics is the structured performance-telemetry substrate every
+// benchmark-producing layer of the repository emits into: lightweight
+// counters, gauges, reservoir-backed timers, and append-only timeseries,
+// gathered by a Registry that serializes to the one unified
+// BENCH_<area>.json schema (DESIGN.md §8.6).
+//
+// The design goals, in order:
+//
+//  1. Allocation-conscious hot paths. Counter.Inc and Gauge.Set are single
+//     atomic operations; Timer.Observe is an O(1) reservoir insert with no
+//     allocations. Instrumenting a trainer iteration or a serving flush
+//     must not perturb what it measures.
+//  2. One schema. Every producer — rl trainers, core evaluation, swarm
+//     runs, the serving engine — reports through the same Report shape, so
+//     cmd/benchdiff can diff any BENCH_<area>.json against its committed
+//     baseline without per-area knowledge.
+//  3. Self-describing regressions. Each scalar metric and distribution
+//     carries its comparison rule (direction + relative tolerance) in the
+//     JSON itself; the baseline file alone tells the differ what counts as
+//     a regression.
+//
+// Like the stats.Reservoir it builds on, a Timer is single-goroutine
+// state; Counters and Gauges are safe for concurrent use; the Registry's
+// own methods are mutex-guarded so producers can register lazily from
+// setup code.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"advnet/internal/stats"
+)
+
+// Direction states which way a metric is allowed to move before the differ
+// calls it a regression.
+type Direction string
+
+const (
+	// Higher marks a metric where larger is better (throughput).
+	Higher Direction = "higher"
+	// Lower marks a metric where smaller is better (latency).
+	Lower Direction = "lower"
+	// None marks an informational metric the differ reports but never
+	// fails on (wall-clock seconds, configuration echoes, QoE levels whose
+	// meaning is workload-dependent).
+	None Direction = "none"
+)
+
+// DefaultTolerance is the relative worsening allowed before a directional
+// metric counts as a regression when its rule does not specify one. 0.5
+// tolerates the run-to-run noise of shared CI machines while still failing
+// loudly on order-of-magnitude regressions.
+const DefaultTolerance = 0.5
+
+// Rule is the comparison contract attached to a metric: its unit (for
+// humans), its direction, and the relative tolerance before a move in the
+// bad direction counts as a regression.
+type Rule struct {
+	Unit      string    `json:"unit,omitempty"`
+	Direction Direction `json:"direction,omitempty"`
+	Tolerance float64   `json:"tolerance,omitempty"`
+}
+
+// HigherIsBetter returns the standard rule for a throughput-shaped metric.
+func HigherIsBetter(unit string) Rule {
+	return Rule{Unit: unit, Direction: Higher, Tolerance: DefaultTolerance}
+}
+
+// LowerIsBetter returns the standard rule for a latency-shaped metric.
+func LowerIsBetter(unit string) Rule {
+	return Rule{Unit: unit, Direction: Lower, Tolerance: DefaultTolerance}
+}
+
+// Info returns the rule for an informational metric the differ never fails
+// on.
+func Info(unit string) Rule {
+	return Rule{Unit: unit, Direction: None}
+}
+
+// Counter is a monotonically increasing event count, safe for concurrent
+// use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float64, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value set (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Timer accumulates a duration distribution through a stats.Reservoir plus
+// an exact running total. Like the reservoir it wraps, a Timer is
+// single-goroutine state: give each worker its own and merge at read time,
+// or confine observation to one loop.
+type Timer struct {
+	res   *stats.Reservoir
+	total float64 // exact sum of observed seconds
+}
+
+// newTimer builds a timer whose reservoir is seeded deterministically.
+func newTimer(seed uint64) *Timer {
+	return &Timer{res: stats.NewReservoir(stats.DefaultReservoirSize, seed)}
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) { t.ObserveSeconds(d.Seconds()) }
+
+// ObserveSeconds records one duration expressed in seconds.
+func (t *Timer) ObserveSeconds(s float64) {
+	t.res.Add(s)
+	t.total += s
+}
+
+// Time runs f and observes how long it took.
+func (t *Timer) Time(f func()) {
+	start := time.Now()
+	f()
+	t.Observe(time.Since(start))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() uint64 { return t.res.Count() }
+
+// TotalSeconds returns the exact sum of all observed durations.
+func (t *Timer) TotalSeconds() float64 { return t.total }
+
+// Summary digests the observed distribution (seconds). The zero Summary
+// when nothing was observed.
+func (t *Timer) Summary() stats.Summary {
+	if t.res.Count() == 0 {
+		return stats.Summary{}
+	}
+	return stats.Summarize(t.res)
+}

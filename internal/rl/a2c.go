@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"time"
 
 	"advnet/internal/mathx"
 	"advnet/internal/nn"
@@ -25,6 +26,7 @@ type A2C struct {
 	buf    rolloutBuffer
 	iter   int
 	col    collector
+	met    *TrainMetrics // optional training telemetry (nil = off)
 
 	// Batched-update scratch (cfg.GEMM with a BatchPolicy), sized lazily.
 	uobs    []float64
@@ -101,7 +103,15 @@ func (a *A2C) TrainIteration(env Env) IterStats {
 	stats := IterStats{Iteration: a.iter}
 	a.iter++
 
+	var t0 time.Time
+	if a.met != nil {
+		t0 = time.Now()
+	}
 	cs := a.col.collect(env, a.cfg.RolloutSteps)
+	if a.met != nil {
+		a.met.Rollout.Observe(time.Since(t0))
+		t0 = time.Now()
+	}
 	mergeCollectStats(&stats, cs, a.buf.len())
 
 	a.buf.computeGAE(a.cfg.Gamma, a.cfg.Lambda, a.col.bootstrap())
@@ -145,6 +155,10 @@ func (a *A2C) TrainIteration(env Env) IterStats {
 	stats.ValueLoss = sumValueLoss / n
 	stats.Entropy = sumEntropy / n
 
+	if a.met != nil {
+		a.met.Update.Observe(time.Since(t0))
+		a.met.Iterations.Inc()
+	}
 	a.buf.reset()
 	return stats
 }

@@ -3,6 +3,7 @@ package rl
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"advnet/internal/mathx"
 	"advnet/internal/nn"
@@ -96,6 +97,8 @@ type PPO struct {
 	iter   int
 	col    collector // sequential-path rollout state (also vec worker 0)
 
+	met *TrainMetrics // optional training telemetry (nil = off)
+
 	// Minibatch gather/update scratch, sized lazily.
 	uobs    []float64 // minibatch×obsDim observation rows
 	uact    []float64 // minibatch×actDim action rows
@@ -141,12 +144,24 @@ func (p *PPO) TrainIteration(env Env) IterStats {
 	stats := IterStats{Iteration: p.iter}
 	p.iter++
 
+	var t0 time.Time
+	if p.met != nil {
+		t0 = time.Now()
+	}
 	p.collectRollout(env, &stats)
+	if p.met != nil {
+		p.met.Rollout.Observe(time.Since(t0))
+		t0 = time.Now()
+	}
 
 	// Bootstrap value for the trailing partial episode.
 	p.buf.computeGAE(p.cfg.Gamma, p.cfg.Lambda, p.col.bootstrap())
 	p.buf.normalizeAdvantages()
 	p.update(&stats)
+	if p.met != nil {
+		p.met.Update.Observe(time.Since(t0))
+		p.met.Iterations.Inc()
+	}
 	p.buf.reset()
 	return stats
 }

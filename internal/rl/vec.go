@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"advnet/internal/faults"
 )
@@ -141,6 +142,10 @@ func (v *VecRunner) TrainIteration() (IterStats, error) {
 	stats := IterStats{Iteration: p.iter}
 	p.iter++
 
+	var t0 time.Time
+	if p.met != nil {
+		t0 = time.Now()
+	}
 	errs := make([]error, len(v.workers))
 	if len(v.workers) == 1 {
 		// Inline: identical to the sequential trainer, no goroutines.
@@ -167,6 +172,12 @@ func (v *VecRunner) TrainIteration() (IterStats, error) {
 			return stats, err
 		}
 	}
+	// The faulted path above skips observation: an aborted iteration has no
+	// well-defined phase split and must not skew the timer distributions.
+	if p.met != nil {
+		p.met.Rollout.Observe(time.Since(t0))
+		t0 = time.Now()
+	}
 
 	// Worker 0's transitions are already in p.buf (aliased). Compute its
 	// GAE over exactly its own steps, then append the other workers'
@@ -189,6 +200,10 @@ func (v *VecRunner) TrainIteration() (IterStats, error) {
 	p.buf.normalizeAdvantages()
 	p.update(&stats)
 	p.buf.reset()
+	if p.met != nil {
+		p.met.Update.Observe(time.Since(t0))
+		p.met.Iterations.Inc()
+	}
 
 	// Sync updated weights back to the worker clones (worker 0 already
 	// shares the trainer's parameters). A sync failure means the clones no

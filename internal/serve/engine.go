@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"advnet/internal/mathx"
+	"advnet/internal/metrics"
 	"advnet/internal/nn"
 	"advnet/internal/stats"
 )
@@ -367,6 +368,22 @@ type EngineStats struct {
 	Workers  int           `json:"workers"`
 	Snapshot uint64        `json:"snapshot"`
 	Latency  stats.Summary `json:"latency_us"` // enqueue→computed, µs
+}
+
+// EmitMetrics records the digest into reg under the unified BENCH schema
+// (DESIGN.md §8.6): serving throughput and speed metrics as scalars with
+// regression rules, the enqueue→computed latency as a "lower is better"
+// distribution. wallSeconds is the load phase's wall time (the engine
+// cannot know it; only the driver does).
+func (st EngineStats) EmitMetrics(reg *metrics.Registry, wallSeconds float64) {
+	reg.SetMetric("served", float64(st.Served), metrics.Info("requests"))
+	reg.SetMetric("batches", float64(st.Batches), metrics.Info("flushes"))
+	reg.SetMetric("avg_batch", st.AvgBatch, metrics.Info("requests/flush"))
+	reg.SetMetric("wall_seconds", wallSeconds, metrics.Info("s"))
+	if wallSeconds > 0 {
+		reg.SetMetric("throughput_rps", float64(st.Served)/wallSeconds, metrics.HigherIsBetter("req/s"))
+	}
+	reg.SetDistribution("latency_us", st.Latency, metrics.LowerIsBetter("us"))
 }
 
 // Stats digests the serving counters and per-shard latency reservoirs. The

@@ -64,7 +64,11 @@ func (r *Reservoir) Add(x float64) {
 	}
 	// Algorithm R: keep x with probability cap/n, replacing a uniform
 	// victim, so the retained set stays a uniform sample of the stream.
-	if j := int(r.rng.Uint64() % r.n); j < len(r.vals) {
+	// The slot draw must be exactly uniform over [0, n): a modulo
+	// reduction favors low residues for stream lengths that are not powers
+	// of two, tilting retention toward early slots (mathx.Uint64n is the
+	// unbiased bounded draw).
+	if j := r.rng.Uint64n(r.n); j < uint64(len(r.vals)) {
 		r.vals[j] = x
 	}
 }
@@ -137,41 +141,74 @@ func quantileSorted(sorted []float64, q float64) float64 {
 // MergedQuantile estimates the q-th quantile of the union of several
 // reservoirs' streams. Each retained sample is weighted by the number of
 // stream observations it represents (n_i / len_i), so shards with more
-// traffic count proportionally more. Empty reservoirs are skipped; it
-// panics when every reservoir is empty.
+// traffic count proportionally more, and the estimate interpolates within
+// the weighted order statistics exactly as quantileSorted does for the
+// unweighted case. When every sample carries the same weight — in
+// particular for a single reservoir — it reduces to quantileSorted on the
+// merged values, so Summarize over one reservoir is bitwise-identical to
+// Reservoir.Quantile. Empty reservoirs are skipped; it panics when every
+// reservoir is empty.
 func MergedQuantile(q float64, rs ...*Reservoir) float64 {
 	type wv struct {
 		v, w float64
 	}
 	var pairs []wv
-	var total float64
+	uniform := true
 	for _, r := range rs {
 		if r == nil || len(r.vals) == 0 {
 			continue
 		}
 		w := float64(r.n) / float64(len(r.vals))
+		if len(pairs) > 0 && w != pairs[0].w {
+			uniform = false
+		}
 		for _, v := range r.vals {
 			pairs = append(pairs, wv{v, w})
-			total += w
 		}
 	}
 	if len(pairs) == 0 {
 		panic("stats: MergedQuantile of empty reservoirs")
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	if uniform {
+		// Equal weights: the weighted quantile is the plain empirical
+		// quantile of the merged sample. Reusing quantileSorted keeps the
+		// single-reservoir case bitwise-equal to Reservoir.Quantile.
+		vals := make([]float64, len(pairs))
+		for i, p := range pairs {
+			vals[i] = p.v
+		}
+		return quantileSorted(vals, q)
+	}
 	if q <= 0 {
 		return pairs[0].v
 	}
 	if q >= 1 {
 		return pairs[len(pairs)-1].v
 	}
-	target := q * total
-	var cum float64
+	// Interpolated weighted order statistics: sample k sits at position
+	// x_k = cumBefore_k / (total - w_k), the generalization of k/(n-1)
+	// (to which it reduces for equal weights). The positions are
+	// non-decreasing: an inversion would need w_k·(total-w_k) <
+	// cumBefore_k·(w_k - w_{k+1}), impossible since cumBefore_k < total-w_k
+	// and w_k - w_{k+1} < w_k.
+	var total float64
 	for _, p := range pairs {
-		cum += p.w
-		if cum >= target {
-			return p.v
+		total += p.w
+	}
+	var cumBefore, prevX float64
+	prevV := pairs[0].v
+	for _, p := range pairs {
+		x := cumBefore / (total - p.w)
+		if x >= q {
+			if x <= prevX {
+				return p.v
+			}
+			t := (q - prevX) / (x - prevX)
+			return prevV*(1-t) + p.v*t
 		}
+		cumBefore += p.w
+		prevX, prevV = x, p.v
 	}
 	return pairs[len(pairs)-1].v
 }
@@ -219,6 +256,31 @@ func Summarize(rs ...*Reservoir) Summary {
 	s.P95 = MergedQuantile(0.95, rs...)
 	s.P99 = MergedQuantile(0.99, rs...)
 	return s
+}
+
+// SummarizeValues digests a raw slice into a Summary with exact percentiles
+// (no reservoir sampling) — the bridge from slice-shaped evaluation results
+// to the Summary unit the telemetry schema records. Empty input yields the
+// zero Summary.
+func SummarizeValues(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		Count: uint64(len(sorted)),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		P50:   quantileSorted(sorted, 0.50),
+		P95:   quantileSorted(sorted, 0.95),
+		P99:   quantileSorted(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+	}
 }
 
 // String renders the summary on one line (values interpreted by the caller's

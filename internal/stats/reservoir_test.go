@@ -150,3 +150,131 @@ func TestSummarize(t *testing.T) {
 		t.Fatal("summary of empty reservoir not zero")
 	}
 }
+
+// TestSummarizeSingleReservoirMatchesQuantile pins the §8.4 contract the
+// telemetry layer depends on: digesting ONE reservoir through Summarize
+// (which routes percentiles through MergedQuantile) must be bitwise-equal
+// to querying the reservoir directly — both below capacity (weight 1) and
+// after overflow (uniform weight n/len ≠ 1). The historical MergedQuantile
+// stepped to the first value crossing the cumulative-weight target instead
+// of interpolating, so the two answers disagreed on identical data.
+func TestSummarizeSingleReservoirMatchesQuantile(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cap    int
+		stream int
+	}{
+		{"below-capacity", 256, 100},
+		{"at-capacity", 256, 256},
+		{"overflowed", 256, 10_000},
+		{"overflowed-odd", 300, 7777},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReservoir(tc.cap, 42)
+			rng := mathx.NewRNG(7)
+			for i := 0; i < tc.stream; i++ {
+				r.Add(rng.Uniform(-5, 5))
+			}
+			s := Summarize(r)
+			for _, p := range []struct {
+				q   float64
+				got float64
+			}{
+				{0.50, s.P50},
+				{0.95, s.P95},
+				{0.99, s.P99},
+			} {
+				if want := r.Quantile(p.q); p.got != want {
+					t.Fatalf("q=%v: Summarize %v != Quantile %v (diff %g)",
+						p.q, p.got, want, p.got-want)
+				}
+			}
+			if s.Min != r.Min() || s.Max != r.Max() || s.Mean != r.Mean() {
+				t.Fatal("summary aggregates diverge from reservoir accessors")
+			}
+		})
+	}
+}
+
+// TestMergedQuantileInterpolates: with unequal weights the estimate must
+// interpolate within the weighted order statistics, not step. Two samples
+// {0, 1} with weights {1, 3}: positions are x_0 = 0, x_1 = 1, so the
+// median interpolates to 0.5 regardless of weights in the two-sample case;
+// use three samples {0, 1, 2} with weights {1, 1, 2} (total 4): positions
+// 0/(4-1)=0, 1/(4-1)=1/3, 2/(4-2)=1. q=0.5 falls between x_1 and x_2:
+// t=(0.5-1/3)/(1-1/3)=0.25 → 1.25. The historical step rule answered 1.
+func TestMergedQuantileInterpolates(t *testing.T) {
+	a := NewReservoir(4, 1) // weight 1: retains {0, 1}
+	a.Add(0)
+	a.Add(1)
+	b := NewReservoir(1, 2) // stream of 2, retains 1 sample: weight 2
+	b.Add(2)
+	b.Add(2) // overflow keeps the value 2 either way
+	if len(b.vals) != 1 || b.vals[0] != 2 {
+		t.Fatalf("reservoir b retained %v, want [2]", b.vals)
+	}
+	got := MergedQuantile(0.5, a, b)
+	want := 1.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged median %v, want %v", got, want)
+	}
+	// Monotonicity in q across the whole range.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := MergedQuantile(q, a, b)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestReservoirRetentionUniform pins Algorithm R's core property after the
+// unbiased-draw fix: every stream position is retained with probability
+// cap/N, including stream lengths that are not powers of two (where a
+// modulo-reduced victim draw is biased). 4k trials of a cap-8 reservoir
+// over a 12-element stream: each position should be retained ~8/12 of the
+// time; a chi-square over the 12 retention counts must stay at noise level.
+func TestReservoirRetentionUniform(t *testing.T) {
+	const (
+		capacity = 8
+		stream   = 12
+		trials   = 40_000
+	)
+	counts := make([]float64, stream)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(capacity, uint64(trial)+1)
+		for i := 0; i < stream; i++ {
+			r.Add(float64(i))
+		}
+		for _, v := range r.vals {
+			counts[int(v)]++
+		}
+	}
+	expected := float64(trials) * capacity / stream
+	var chi2 float64
+	for _, c := range counts {
+		d := c - expected
+		chi2 += d * d / expected
+	}
+	// 99.9% critical value for 11 dof is ~31.3; allow headroom.
+	if chi2 > 40 {
+		t.Fatalf("retention chi-square %.1f over %d trials (counts %v, expected %.0f each)",
+			chi2, trials, counts, expected)
+	}
+}
+
+func TestSummarizeValues(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s := SummarizeValues(xs)
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Percentiles must match the interpolating Percentile helper.
+	if want := Percentile(xs, 95); s.P95 != want {
+		t.Fatalf("p95 %v, want %v", s.P95, want)
+	}
+	if z := SummarizeValues(nil); z != (Summary{}) {
+		t.Fatalf("empty summary %+v", z)
+	}
+}

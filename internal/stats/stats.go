@@ -133,23 +133,40 @@ type RatioSummary struct {
 	// FractionTargetWorse is the fraction of traces where the denominator
 	// (the targeted protocol) did worse, i.e. ratio > 1.
 	FractionTargetWorse float64
+	// Clamped counts pairs whose denominator magnitude was below the
+	// division guard and was clamped away from zero (sign preserved). A
+	// non-zero count means some ratios are guard-scaled, not measured.
+	Clamped int
 }
 
-// Ratios computes num[i]/den[i] summaries. Pairs where the denominator is
-// not positive are guarded by flooring the denominator at eps of the
-// numerator scale (QoE can be near zero or negative on adversarial traces;
-// the paper plots ratios of positive per-video QoE, so callers should shift
-// to a positive scale first — see ShiftPositive).
+// ratioEps is the denominator magnitude floor guarding Ratios against
+// division blow-ups.
+const ratioEps = 1e-9
+
+// Ratios computes num[i]/den[i] summaries. Pairs whose denominator
+// magnitude is below ratioEps are clamped symmetrically away from zero —
+// the sign is preserved, so a negative-QoE denominator yields a negative
+// ratio rather than a sign-flipped absurd magnitude — and counted in
+// Clamped (QoE can be near zero or negative on adversarial traces; the
+// paper plots ratios of positive per-video QoE, so callers should shift to
+// a positive scale first — see ShiftPositive).
 func Ratios(num, den []float64) RatioSummary {
 	if len(num) != len(den) || len(num) == 0 {
 		panic("stats: Ratios needs equal non-empty slices")
 	}
 	rs := make([]float64, len(num))
 	worse := 0
+	clamped := 0
 	for i := range num {
 		d := den[i]
-		if d <= 1e-9 {
-			d = 1e-9
+		if math.Abs(d) < ratioEps {
+			// Exactly zero (of either float sign) clamps positive.
+			if d < 0 {
+				d = -ratioEps
+			} else {
+				d = ratioEps
+			}
+			clamped++
 		}
 		rs[i] = num[i] / d
 		if rs[i] > 1 {
@@ -161,6 +178,7 @@ func Ratios(num, den []float64) RatioSummary {
 		P95:                 Percentile(rs, 95),
 		Max:                 Max(rs),
 		FractionTargetWorse: float64(worse) / float64(len(rs)),
+		Clamped:             clamped,
 	}
 }
 

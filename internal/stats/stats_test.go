@@ -190,3 +190,46 @@ func TestBootstrapMeanCI(t *testing.T) {
 		t.Fatal("empty input should give zero CI")
 	}
 }
+
+// TestRatiosPreservesNegativeDenominatorSign: the historical guard floored
+// ANY denominator <= 1e-9 to +1e-9, so a legitimately negative QoE
+// denominator flipped the ratio's sign and exploded its magnitude
+// (1 / -2 became 1e9). The symmetric clamp leaves healthy negative
+// denominators untouched.
+func TestRatiosPreservesNegativeDenominatorSign(t *testing.T) {
+	r := Ratios([]float64{1, 4}, []float64{-2, 2})
+	// 1/-2 = -0.5 (not 1e9), 4/2 = 2.
+	if math.Abs(r.Mean-(-0.5+2)/2) > 1e-12 {
+		t.Fatalf("mean %v, want %v", r.Mean, (-0.5+2)/2)
+	}
+	if r.Max != 2 {
+		t.Fatalf("max %v, want 2", r.Max)
+	}
+	if r.Clamped != 0 {
+		t.Fatalf("clamped %d, want 0 (both denominators are healthy)", r.Clamped)
+	}
+	if math.Abs(r.FractionTargetWorse-0.5) > 1e-12 {
+		t.Fatalf("fraction %v, want 0.5", r.FractionTargetWorse)
+	}
+}
+
+// TestRatiosClampsTowardSign: near-zero denominators clamp away from zero
+// on their own side, and the clamp is counted so callers can see the
+// summary is guard-scaled rather than measured.
+func TestRatiosClampsTowardSign(t *testing.T) {
+	r := Ratios([]float64{1, 1, 1}, []float64{0, 1e-12, -1e-12})
+	if r.Clamped != 3 {
+		t.Fatalf("clamped %d, want 3", r.Clamped)
+	}
+	if math.IsInf(r.Mean, 0) || math.IsNaN(r.Mean) {
+		t.Fatalf("unguarded mean %v", r.Mean)
+	}
+	// Zero and +1e-12 clamp positive (ratio ~+1e9); -1e-12 clamps negative
+	// (ratio ~-1e9) instead of the historical sign flip to +1e9.
+	if math.Abs(r.Max-1e9) > 1 {
+		t.Fatalf("max %v, want ~1e9", r.Max)
+	}
+	if math.Abs(r.Mean-1e9/3) > 1 {
+		t.Fatalf("mean %v, want ~%v", r.Mean, 1e9/3)
+	}
+}
