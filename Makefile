@@ -46,19 +46,25 @@ swarm-bench:
 
 # Serving-engine concurrency suite under the race detector: hot-reload
 # consistency (snapshot swaps mid-storm, every response consistent with
-# exactly one snapshot), the concurrent request storm, and close semantics.
+# exactly one snapshot), the concurrent request storm, close semantics, and
+# the degradation path (overload shedding, deadline aborts, shard-panic
+# containment) with its abr fallback layer.
 serve-race:
 	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 -run 'PensieveServe' ./internal/abr/
 
 # Crash-safety, fault-injection, and determinism suite (DESIGN.md §8.2/§8.3/
-# §8.5) under the race detector: bitwise checkpoint resume (rl trainers, abr
-# env state, the robust pipeline, shard cursors), worker-panic containment
-# (rollout workers and swarm groups), the divergence watchdog, shard
-# determinism, zero-bandwidth download guards, the atomic-write crash
-# simulation, the netem cross-run determinism suite, and the swarm
-# worker-count-invariance suite.
+# §8.5/§8.7) under the race detector: bitwise checkpoint resume (rl trainers,
+# abr env state, the robust pipeline, shard cursors), worker-panic containment
+# (rollout workers, swarm groups, and serving shards), the divergence
+# watchdog, shard determinism, zero-bandwidth download guards, the
+# atomic-write crash simulation, the netem cross-run determinism suite, the
+# swarm worker-count-invariance suite, and the serving degradation contract
+# (overload shedding, deadline bounds, close-during-storm, reload retry and
+# circuit breaker, fallback decision identity) driven through the
+# serve.enqueue / serve.flush / serve.reload chaos points.
 faults:
-	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth|Determinism|SameSeed|Swarm' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/ ./internal/netem/ ./internal/swarm/
+	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth|Determinism|SameSeed|Swarm|Overload|Deadline|Breaker|Reload|Fallback|Close|Fault' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/ ./internal/netem/ ./internal/swarm/ ./internal/serve/
 
 # Short-mode benchmark suite behind the regression gate: the same four
 # producers as the full `make bench` (serving storm, swarm simulation,

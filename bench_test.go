@@ -426,7 +426,7 @@ func BenchmarkServeStorm(b *testing.B) {
 	})
 	for _, batch := range []int{16, 64} {
 		b.Run(fmt.Sprintf("storm/batch=%d", batch), func(b *testing.B) {
-			eng := serve.NewEngine(serve.NewRegistry(net), serve.Config{
+			eng := serve.MustNewEngine(serve.NewRegistry(net), serve.Config{
 				Workers:  1,
 				MaxBatch: batch,
 				MaxWait:  200 * time.Microsecond,

@@ -21,8 +21,12 @@ import (
 
 	"advnet/internal/abr"
 	"advnet/internal/cc"
+	"advnet/internal/mathx"
 	"advnet/internal/metrics"
 	"advnet/internal/netem"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+	"advnet/internal/serve"
 	"advnet/internal/swarm"
 	"advnet/internal/trace"
 )
@@ -77,7 +81,10 @@ func main() {
 	groups := flag.Int("groups", 1024, "independent shared bottlenecks")
 	workers := flag.Int("workers", 0, "OS parallelism (0 = GOMAXPROCS); never changes results")
 	seed := flag.Uint64("seed", 1, "master seed; same seed = bitwise-identical report")
-	protocol := flag.String("protocol", "mixed", "ABR protocol per client: bb|rate|bola|mpc|mixed")
+	protocol := flag.String("protocol", "mixed", "ABR protocol per client: bb|rate|bola|mpc|mixed, or serve (all clients share one policy-serving engine)")
+	policyPath := flag.String("policy", "", "policy file for -protocol serve (empty = fresh random Pensieve net from -seed)")
+	deadline := flag.Duration("deadline", 2*time.Millisecond, "per-decision serving deadline for -protocol serve (shed decisions fall back to BB); 0 disables")
+	serveWorkers := flag.Int("serve-workers", 0, "engine shard workers for -protocol serve (0 = GOMAXPROCS)")
 	capacity := flag.Float64("capacity", 40, "per-group bottleneck capacity in Mbps (ignored with -traces)")
 	tracesPath := flag.String("traces", "", "trace dataset JSON; group g replays trace g mod len cyclically")
 	chunks := flag.Int("chunks", 48, "video length in chunks")
@@ -91,13 +98,37 @@ func main() {
 	jsonOut := flag.String("json", "", "write the machine-readable report here (e.g. BENCH_swarm.json)")
 	flag.Parse()
 
-	newProto, err := protocolFactory(*protocol)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	videoCfg := abr.DefaultVideoConfig()
 	videoCfg.NumChunks = *chunks
+
+	// -protocol serve routes every client's decision through one shared
+	// policy-serving engine, measuring the serving stack under the swarm's
+	// realistic interarrivals; shed decisions degrade to the BB fallback.
+	var newProto func(int) abr.Protocol
+	var serveMode *swarm.ServeMode
+	if *protocol == "serve" {
+		var net *nn.MLP
+		var err error
+		if *policyPath != "" {
+			if net, err = rl.LoadPolicyNet(*policyPath); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			net = abr.NewPensieveNet(mathx.NewRNG(*seed), len(videoCfg.BitratesKbps))
+		}
+		eng, err := serve.NewEngine(serve.NewRegistry(net), serve.Config{Workers: *serveWorkers, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+		serveMode = swarm.NewServeMode(eng, *deadline)
+		newProto = serveMode.NewProtocol
+	} else {
+		var err error
+		if newProto, err = protocolFactory(*protocol); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	cfg := swarm.Config{
 		Clients:      *clients,
@@ -117,9 +148,11 @@ func main() {
 		cfg.OneWayDelayMs = *delay
 		cfg.LossRate = *loss
 		cfg.QueuePackets = *queue
-		if cfg.NewCC, err = ccFactory(*ccName); err != nil {
+		newCC, err := ccFactory(*ccName)
+		if err != nil {
 			log.Fatal(err)
 		}
+		cfg.NewCC = newCC
 	default:
 		log.Fatalf("unknown backend %q (fluid|netem)", *backend)
 	}
@@ -169,6 +202,10 @@ func main() {
 	}
 	reg.SetConfig("chunks", *chunks)
 	res.EmitMetrics(reg, wall.Seconds())
+	if serveMode != nil {
+		reg.SetConfig("serve_deadline_us", float64(*deadline)/float64(time.Microsecond))
+		serveMode.EmitMetrics(reg)
+	}
 
 	speedup := res.VirtualSeconds / wall.Seconds()
 	eventsPerSec := float64(res.Events) / wall.Seconds()
@@ -180,6 +217,11 @@ func main() {
 	fmt.Printf("rebuffer: per-client mean %.2fs p95 %.2fs\n",
 		res.RebufferPerClient.Mean, res.RebufferPerClient.P95)
 	fmt.Printf("fairness: Jain %.4f (per-group p50 %.4f)\n", res.Jain, res.GroupJain.P50)
+	if serveMode != nil {
+		p := serveMode.Proto()
+		fmt.Printf("serving:  %d decisions, %d fallbacks (%.4f rate), %d shed by engine\n",
+			p.Decisions(), p.Fallbacks(), p.FallbackRate(), p.Engine().Shed())
+	}
 
 	if *jsonOut != "" {
 		if err := reg.WriteJSON(*jsonOut); err != nil {

@@ -2,6 +2,8 @@ package abr
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"advnet/internal/serve"
 )
@@ -15,17 +17,33 @@ import (
 // that policy directly.
 //
 // Unlike Pensieve, a single PensieveServe is safe for concurrent sessions:
-// the engine batches requests from any number of goroutines.
+// the engine batches requests from any number of goroutines, and the
+// fallback protocol (see SetFallback) must be concurrency-safe too — the
+// default BB is stateless.
+//
+// Degradation (DESIGN.md §8.7): when the engine sheds a request (overload,
+// expired deadline) or is closed, the session still gets a decision — the
+// deterministic fallback protocol answers instead, and the event is counted
+// in Fallbacks. A fallback answer is bitwise identical to what the fallback
+// protocol would have chosen directly; nothing about the degradation is
+// silent, and nothing ever blocks a client on a saturated engine.
 type PensieveServe struct {
-	eng   *serve.Engine
-	label string
+	eng      *serve.Engine
+	label    string
+	fallback Protocol      // answers shed/closed requests; nil = strict mode (panic)
+	deadline time.Duration // per-request budget passed to SelectDeadline; 0 = engine default
+
+	decisions atomic.Uint64 // total SelectLevel calls
+	fallbacks atomic.Uint64 // decisions answered by the fallback
 }
 
 // NewPensieveServe wraps a running engine as an ABR protocol. The engine's
-// serving architecture must match FeatureSize(levels) of the sessions it will
-// drive; a mismatch surfaces as a panic on the first SelectLevel.
+// serving architecture must match FeatureSize(levels) of the sessions it
+// will drive; a mismatch surfaces as a panic on the first SelectLevel. The
+// default fallback is buffer-based BB (stateless, deterministic); SetFallback
+// overrides or disables it.
 func NewPensieveServe(eng *serve.Engine) *PensieveServe {
-	return &PensieveServe{eng: eng, label: "pensieve-serve"}
+	return &PensieveServe{eng: eng, label: "pensieve-serve", fallback: NewBB()}
 }
 
 // Name implements Protocol.
@@ -34,21 +52,65 @@ func (p *PensieveServe) Name() string { return p.label }
 // SetName overrides the reported protocol name.
 func (p *PensieveServe) SetName(s string) { p.label = s }
 
-// Reset implements Protocol (all serving state lives in the engine).
-func (p *PensieveServe) Reset() {}
+// Reset implements Protocol (all serving state lives in the engine; the
+// stateless fallback needs no reset, and a stateful one is reset here).
+func (p *PensieveServe) Reset() {
+	if p.fallback != nil {
+		p.fallback.Reset()
+	}
+}
 
 // Engine returns the backing engine (for stats, hot reload via its registry,
 // or shutdown).
 func (p *PensieveServe) Engine() *serve.Engine { return p.eng }
 
-// SelectLevel implements Protocol by submitting the observation's features to
-// the engine and clamping the batched-argmax decision to the ladder. An
-// engine error mid-session (closed engine, architecture drift) is a
-// deployment bug, not a recoverable protocol condition, so it panics.
+// SetFallback replaces the degradation protocol. It must be concurrency-safe
+// if sessions share this PensieveServe. nil restores strict mode: any engine
+// error panics (a pre-degradation deployment posture for tests that must
+// fail loudly). Call before serving begins; it is not synchronized with
+// in-flight SelectLevel calls.
+func (p *PensieveServe) SetFallback(fb Protocol) { p.fallback = fb }
+
+// SetDeadline sets the per-request deadline passed to the engine (0 uses
+// the engine's DefaultDeadline). Call before serving begins.
+func (p *PensieveServe) SetDeadline(d time.Duration) { p.deadline = d }
+
+// Decisions returns the total SelectLevel calls answered (engine + fallback).
+func (p *PensieveServe) Decisions() uint64 { return p.decisions.Load() }
+
+// Fallbacks returns how many decisions the fallback protocol answered
+// because the engine shed, timed out, or was closed.
+func (p *PensieveServe) Fallbacks() uint64 { return p.fallbacks.Load() }
+
+// FallbackRate returns the fraction of decisions answered by the fallback.
+func (p *PensieveServe) FallbackRate() float64 {
+	if n := p.decisions.Load(); n > 0 {
+		return float64(p.fallbacks.Load()) / float64(n)
+	}
+	return 0
+}
+
+// SelectLevel implements Protocol by submitting the observation's features
+// to the engine and clamping the batched-argmax decision to the ladder.
+// When the engine cannot answer (shed by admission control, deadline
+// expired, engine closed), the fallback protocol decides instead — counted,
+// never silent. With the fallback disabled (SetFallback(nil)) an engine
+// error is a deployment bug, not a recoverable protocol condition: panic.
 func (p *PensieveServe) SelectLevel(o *Observation) int {
-	d, err := p.eng.Select(Features(o))
-	if err != nil {
+	p.decisions.Add(1)
+	var d serve.Decision
+	var err error
+	if p.deadline > 0 {
+		d, err = p.eng.SelectDeadline(Features(o), p.deadline)
+	} else {
+		d, err = p.eng.Select(Features(o)) // engine's DefaultDeadline governs
+	}
+	if err == nil {
+		return clampLevel(d.Level, o.Levels)
+	}
+	if p.fallback == nil {
 		panic(fmt.Sprintf("abr: serving engine failed mid-session: %v", err))
 	}
-	return clampLevel(d.Level, o.Levels)
+	p.fallbacks.Add(1)
+	return clampLevel(p.fallback.SelectLevel(o), o.Levels)
 }

@@ -28,7 +28,7 @@ func TestPensieveServeDecisionIdentity(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			reg := serve.NewRegistry(policy.Net())
-			eng := serve.NewEngine(reg, tc.cfg)
+			eng := serve.MustNewEngine(reg, tc.cfg)
 			defer eng.Close()
 			served := NewPensieveServe(eng)
 
@@ -57,7 +57,7 @@ func TestPensieveServeRunsSessions(t *testing.T) {
 	v := testVideo(0)
 	rng := mathx.NewRNG(9)
 	policy := rl.NewCategoricalPolicy(NewPensieveNet(rng, v.Levels()))
-	eng := serve.NewEngine(serve.NewRegistry(policy.Net()), serve.Config{Workers: 2, MaxBatch: 8})
+	eng := serve.MustNewEngine(serve.NewRegistry(policy.Net()), serve.Config{Workers: 2, MaxBatch: 8})
 	defer eng.Close()
 	p := NewPensieveServe(eng)
 

@@ -51,6 +51,12 @@ func Clear(point string) {
 	}
 }
 
+// Armed reports whether any hook is installed anywhere. Hot paths whose
+// Fire call carries arguments can gate on it: building the variadic args
+// heap-allocates even when no hook is listening, while Armed is one atomic
+// load. (An argument-less Fire needs no guard — a nil slice is free.)
+func Armed() bool { return active.Load() > 0 }
+
 // Fire triggers the hook installed at point, if any. It returns nil when no
 // hook is installed. A hook that panics propagates the panic to the caller —
 // that is the point: the call site's recover() machinery is what is under

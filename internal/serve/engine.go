@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"advnet/internal/faults"
 	"advnet/internal/mathx"
 	"advnet/internal/metrics"
 	"advnet/internal/nn"
@@ -25,12 +26,25 @@ type Config struct {
 	MaxBatch int
 	// MaxWait bounds how long a worker holds a partial batch open waiting
 	// for more requests before flushing — the serving latency it will trade
-	// for batching density. Zero means the 100µs default; negative flushes
-	// partial batches immediately (opportunistic batching only).
+	// for batching density. Zero means the 100µs default (the zero Config
+	// serves sensibly); a negative value is a configuration error. To flush
+	// partial batches immediately (opportunistic batching only), set
+	// FlushImmediately instead.
 	MaxWait time.Duration
+	// FlushImmediately disables the batching window: a worker flushes
+	// whatever it has gathered as soon as the queue runs dry. MaxWait must
+	// be unset (zero) when it is on.
+	FlushImmediately bool
 	// QueueDepth is each worker's bounded request-queue capacity (default
-	// 4×MaxBatch). A full queue applies backpressure by blocking Select.
+	// 4×MaxBatch). A full queue applies backpressure: Select blocks until
+	// space frees (interrupted only by Close), while a deadline-carrying
+	// request sheds with *OverloadError when the deadline expires first.
 	QueueDepth int
+	// DefaultDeadline is the per-request deadline Select applies (the
+	// degradation contract, DESIGN.md §8.7). Zero means no deadline — a
+	// request waits for capacity indefinitely (interrupted only by Close).
+	// SelectDeadline overrides it per call.
+	DefaultDeadline time.Duration
 	// NoGEMM switches the workers from the blocked GEMM kernels to the
 	// bitwise row-at-a-time batch path (for equivalence testing; GEMM is the
 	// production default).
@@ -44,6 +58,21 @@ type Config struct {
 	Seed uint64
 }
 
+// Validate rejects configurations with no defined meaning. withDefaults
+// assumes a validated config.
+func (c Config) Validate() error {
+	if c.MaxWait < 0 {
+		return fmt.Errorf("serve: negative MaxWait %v (use FlushImmediately for windowless flushing; zero means the default window)", c.MaxWait)
+	}
+	if c.FlushImmediately && c.MaxWait != 0 {
+		return fmt.Errorf("serve: FlushImmediately with MaxWait %v (the window must be unset)", c.MaxWait)
+	}
+	if c.DefaultDeadline < 0 {
+		return fmt.Errorf("serve: negative DefaultDeadline %v (zero disables deadlines)", c.DefaultDeadline)
+	}
+	return nil
+}
+
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -52,9 +81,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 32
 	}
-	if c.MaxWait < 0 {
-		c.MaxWait = 0
-	} else if c.MaxWait == 0 {
+	if c.MaxWait == 0 && !c.FlushImmediately {
 		c.MaxWait = 100 * time.Microsecond
 	}
 	if c.QueueDepth <= 0 {
@@ -69,8 +96,74 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ErrClosed is returned by Select after Close.
-var ErrClosed = errors.New("serve: engine closed")
+// ErrEngineClosed is returned by Select/SelectDeadline once Close has begun:
+// by calls that arrive after it and by calls that were still waiting for
+// queue space when it began. Requests already accepted into a shard queue
+// are answered normally during the drain.
+var ErrEngineClosed = errors.New("serve: engine closed")
+
+// ErrClosed is the historical name of ErrEngineClosed.
+//
+// Deprecated: use ErrEngineClosed.
+var ErrClosed = ErrEngineClosed
+
+// OverloadReason says which admission-control limit shed a request.
+type OverloadReason uint8
+
+const (
+	// OverloadQueueFull sheds a request whose deadline expired while its
+	// shard's queue stayed full — the engine never accepted it.
+	OverloadQueueFull OverloadReason = iota
+	// OverloadDeadline sheds a request whose deadline expired after it was
+	// queued but before a worker batched it.
+	OverloadDeadline
+)
+
+// String names the reason for logs and metrics.
+func (r OverloadReason) String() string {
+	switch r {
+	case OverloadQueueFull:
+		return "queue-full"
+	case OverloadDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("overload(%d)", uint8(r))
+}
+
+// OverloadError reports a request shed by admission control instead of
+// served. It is the caller's signal to degrade — answer from a fallback
+// policy (abr.PensieveServe does), retry later, or surface the overload.
+// The shed path returns shared immutable instances, so shedding allocates
+// nothing; match with errors.As.
+type OverloadError struct {
+	Reason OverloadReason
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: request shed (%s): engine over capacity", e.Reason)
+}
+
+// Immutable shed errors — the overload path must not allocate per request.
+var (
+	errShedQueueFull = &OverloadError{Reason: OverloadQueueFull}
+	errShedDeadline  = &OverloadError{Reason: OverloadDeadline}
+)
+
+// ShardPanicError reports a panic contained while a shard worker flushed a
+// batch (mirrors swarm.GroupPanicError). Every request in the failed batch
+// receives it; the shard rebuilds its batch cache and keeps serving, and no
+// other shard is disturbed.
+type ShardPanicError struct {
+	Shard int
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (e *ShardPanicError) Error() string {
+	return fmt.Sprintf("serve: shard %d panicked mid-flush: %v\n%s", e.Shard, e.Value, e.Stack)
+}
 
 // Decision is the result of one inference request.
 type Decision struct {
@@ -82,23 +175,38 @@ type Decision struct {
 	Snapshot uint64
 }
 
+// Request ownership states. A request starts pending; exactly one side wins
+// it: the worker claims it into a batch, or a deadline-expired caller
+// abandons it. The loser of the race leaves the request to the winner.
+const (
+	reqPending uint32 = iota
+	reqClaimed
+	reqAbandoned
+)
+
 // request is one in-flight inference request. Requests are pooled and their
-// done channel is reused, so the steady-state request path allocates
-// nothing. in aliases the caller's feature slice — safe because the caller
-// blocks in Select until the worker has staged the features and answered —
-// and is cleared before the request returns to the pool.
+// done channel (and deadline timer, once created) is reused, so the
+// steady-state request path allocates nothing — including the shed paths.
+// in aliases the caller's feature slice — safe because the caller blocks in
+// Select until the worker has staged the features and answered — and is
+// cleared before the request returns to the pool.
 type request struct {
 	in    []float64 // caller's features, aliased for the batch copy
 	level int
 	snap  uint64
+	err   error         // typed failure (shard panic, injected fault), nil on success
 	start time.Time     // zero unless this request was latency-sampled
 	done  chan struct{} // capacity 1, signaled exactly once per dispatch
+	timer *time.Timer   // lazily created, reused across pooled uses
+	state atomic.Uint32 // reqPending / reqClaimed / reqAbandoned
 }
 
 // shard is one worker's private state: a bounded MPSC queue (any goroutine
 // produces, only this worker consumes) plus everything the flush loop needs,
-// none of it shared.
+// none of it shared. The shed counters are written by producers (admission
+// control runs on the caller's goroutine) and are atomic.
 type shard struct {
+	idx      int
 	q        chan *request
 	batch    []*request // gathered requests, len MaxBatch
 	xs       []float64  // staging matrix, MaxBatch×in
@@ -106,16 +214,20 @@ type shard struct {
 	lastSnap *Snapshot // the snapshot cache's static weight transpose is for
 	timer    *time.Timer
 
-	lat     *stats.Reservoir // flush latency (enqueue→computed), microseconds
-	served  atomic.Uint64
-	batches atomic.Uint64
+	lat          *stats.Reservoir // flush latency (enqueue→computed), microseconds
+	served       atomic.Uint64
+	batches      atomic.Uint64
+	shedQueue    atomic.Uint64 // deadline expired while the queue stayed full
+	shedDeadline atomic.Uint64 // deadline expired while waiting in the queue
+	panics       atomic.Uint64 // contained flush panics
 }
 
 // Engine serves inference requests against the registry's current snapshot
 // with per-core batch aggregation: requests are round-robined onto N shard
 // workers, each of which gathers up to MaxBatch requests (waiting at most
 // MaxWait) and answers them with one batched forward pass. The worker loop
-// and the Select request path are allocation-free in steady state.
+// and the Select request path — including the shed paths — are
+// allocation-free in steady state.
 type Engine struct {
 	reg *Registry
 	cfg Config
@@ -126,19 +238,23 @@ type Engine struct {
 	rr     atomic.Uint64
 	pool   sync.Pool
 
-	mu     sync.RWMutex // guards closed vs in-flight Selects
-	closed bool
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	closed   atomic.Bool
+	inflight atomic.Int64 // Selects between admission and queue handoff
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // NewEngine starts Workers shard workers serving reg's current snapshot.
 // The engine sizes every worker's batch cache for the registry's serving
 // architecture once, up front — valid forever because the registry rejects
-// architecture-changing publishes.
-func NewEngine(reg *Registry, cfg Config) *Engine {
+// architecture-changing publishes. An invalid Config (see Validate) is
+// rejected before any worker starts.
+func NewEngine(reg *Registry, cfg Config) (*Engine, error) {
 	if reg == nil {
 		panic("serve: NewEngine with nil registry")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	snap := reg.Current()
@@ -154,29 +270,47 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 	}
 	e.shards = make([]*shard, cfg.Workers)
 	for i := range e.shards {
-		var cache *nn.BatchCache
-		if cfg.NoGEMM {
-			cache = snap.Net().NewBatchCache(cfg.MaxBatch)
-		} else {
-			cache = snap.Net().NewBatchCacheGEMM(cfg.MaxBatch)
-		}
-		// Snapshots are immutable, so each worker's cache can keep its
-		// weight transpose across batches; flush invalidates it on swap.
-		cache.SetStaticWeights(true)
 		t := time.NewTimer(time.Hour)
 		stopTimer(t)
 		e.shards[i] = &shard{
+			idx:   i,
 			q:     make(chan *request, cfg.QueueDepth),
 			batch: make([]*request, cfg.MaxBatch),
 			xs:    make([]float64, cfg.MaxBatch*e.in),
-			cache: cache,
+			cache: e.newCache(),
 			timer: t,
 			lat:   stats.NewReservoir(0, cfg.Seed+uint64(i)),
 		}
 		e.wg.Add(1)
 		go e.worker(e.shards[i])
 	}
+	return e, nil
+}
+
+// MustNewEngine is NewEngine for callers whose Config is statically known
+// to be valid (tests, benchmarks); it panics on a config error.
+func MustNewEngine(reg *Registry, cfg Config) *Engine {
+	e, err := NewEngine(reg, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return e
+}
+
+// newCache builds one worker's batch cache in the configured batch mode.
+// Snapshots are immutable, so the cache keeps its weight transpose across
+// batches; flush invalidates it on snapshot swap, and a contained panic
+// rebuilds the cache from scratch.
+func (e *Engine) newCache() *nn.BatchCache {
+	net := e.reg.Current().Net()
+	var cache *nn.BatchCache
+	if e.cfg.NoGEMM {
+		cache = net.NewBatchCache(e.cfg.MaxBatch)
+	} else {
+		cache = net.NewBatchCacheGEMM(e.cfg.MaxBatch)
+	}
+	cache.SetStaticWeights(true)
+	return cache
 }
 
 // InputSize returns the feature-vector size the engine serves.
@@ -185,41 +319,127 @@ func (e *Engine) InputSize() int { return e.in }
 // OutputSize returns the policy net's output dimension.
 func (e *Engine) OutputSize() int { return e.out }
 
-// Select answers one inference request: it enqueues a pooled request on a
-// shard and blocks until the shard's batched forward pass answers it. The
-// features slice is read by the worker while the caller blocks, so callers
-// must not mutate it concurrently from another goroutine. Safe for any
-// number of concurrent callers; a full shard queue blocks (backpressure)
-// rather than dropping. Steady state allocates nothing.
+// Select answers one inference request under the engine's DefaultDeadline:
+// it enqueues a pooled request on a shard and blocks until the shard's
+// batched forward pass answers it. The features slice is read by the worker
+// while the caller blocks, so callers must not mutate it concurrently from
+// another goroutine. Safe for any number of concurrent callers. With no
+// deadline configured a full shard queue blocks (backpressure, interrupted
+// only by Close — ErrEngineClosed); with one, overload sheds typed
+// *OverloadError instead of blocking past the deadline. Steady state
+// allocates nothing.
 func (e *Engine) Select(features []float64) (Decision, error) {
+	return e.SelectDeadline(features, e.cfg.DefaultDeadline)
+}
+
+// SelectDeadline is Select with an explicit per-request deadline budget
+// covering admission and queue wait. deadline <= 0 means no deadline. The
+// degradation contract (DESIGN.md §8.7): the call returns within the
+// deadline plus at most one flush interval — if a worker wins the request
+// in the instant the deadline expires, the in-flight batch answers it.
+func (e *Engine) SelectDeadline(features []float64, deadline time.Duration) (Decision, error) {
 	if len(features) != e.in {
 		return Decision{}, fmt.Errorf("serve: Select with %d features, serving architecture wants %d", len(features), e.in)
 	}
+	if err := faults.Fire("serve.enqueue"); err != nil {
+		return Decision{}, err
+	}
 	req := e.pool.Get().(*request)
 	req.in = features
+	req.err = nil
+	req.state.Store(reqPending)
 	seq := e.rr.Add(1)
 	if seq%uint64(e.cfg.LatencySample) == 0 {
 		req.start = time.Now()
 	} else {
 		req.start = time.Time{}
 	}
-
-	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		req.in = nil
-		e.pool.Put(req)
-		return Decision{}, ErrClosed
-	}
 	sh := e.shards[seq%uint64(len(e.shards))]
-	sh.q <- req
-	e.mu.RUnlock()
 
-	<-req.done
+	// Admission. inflight spans the window between the closed check and the
+	// queue handoff: Close's drain loop cannot exit while any producer might
+	// still enqueue (see drain).
+	e.inflight.Add(1)
+	if e.closed.Load() {
+		e.inflight.Add(-1)
+		e.recycle(req)
+		return Decision{}, ErrEngineClosed
+	}
+	timed := deadline > 0
+	if timed {
+		// One timer budgets the whole call: queue admission and the wait
+		// for a worker. It lives in the pooled request, so arming it
+		// allocates only on the request's first deadline use.
+		if req.timer == nil {
+			req.timer = time.NewTimer(deadline)
+		} else {
+			req.timer.Reset(deadline)
+		}
+	}
+	select {
+	case sh.q <- req:
+	default:
+		// Queue full: backpressure. A deadline bounds the wait and sheds;
+		// without one the caller blocks until space frees or Close.
+		if timed {
+			select {
+			case sh.q <- req:
+			case <-req.timer.C:
+				e.inflight.Add(-1)
+				sh.shedQueue.Add(1)
+				e.recycle(req)
+				return Decision{}, errShedQueueFull
+			case <-e.stop:
+				e.inflight.Add(-1)
+				stopTimer(req.timer)
+				e.recycle(req)
+				return Decision{}, ErrEngineClosed
+			}
+		} else {
+			select {
+			case sh.q <- req:
+			case <-e.stop:
+				e.inflight.Add(-1)
+				e.recycle(req)
+				return Decision{}, ErrEngineClosed
+			}
+		}
+	}
+	e.inflight.Add(-1)
+
+	if timed {
+		select {
+		case <-req.done:
+		case <-req.timer.C:
+			if req.state.CompareAndSwap(reqPending, reqAbandoned) {
+				// The worker now owns the queued request and recycles it
+				// when its claim fails; this caller must not touch it again.
+				sh.shedDeadline.Add(1)
+				return Decision{}, errShedDeadline
+			}
+			// A worker claimed the request as the deadline fired: the
+			// answer is at most one flush away.
+			<-req.done
+		}
+		stopTimer(req.timer)
+	} else {
+		<-req.done
+	}
+	if err := req.err; err != nil {
+		e.recycle(req)
+		return Decision{}, err
+	}
 	d := Decision{Level: req.level, Snapshot: req.snap}
-	req.in = nil
-	e.pool.Put(req)
+	e.recycle(req)
 	return d, nil
+}
+
+// recycle clears a request's aliases and returns it to the pool. Only the
+// request's current owner may call it.
+func (e *Engine) recycle(req *request) {
+	req.in = nil
+	req.err = nil
+	e.pool.Put(req)
 }
 
 // worker is one shard's serving loop.
@@ -230,45 +450,85 @@ func (e *Engine) worker(sh *shard) {
 		case req := <-sh.q:
 			e.gather(sh, req)
 		case <-e.stop:
-			// Answer everything already enqueued, then exit. Close
-			// guarantees no new requests arrive after stop closes.
-			for {
-				select {
-				case req := <-sh.q:
-					e.gather(sh, req)
-				default:
-					return
-				}
-			}
+			e.drain(sh)
+			return
 		}
 	}
 }
 
+// drain answers everything still queued after Close began. It exits only
+// once the queue is empty and no producer is inside the admission window —
+// a producer that already passed the closed check may still be about to
+// enqueue, so the queue is re-checked after inflight reaches zero.
+func (e *Engine) drain(sh *shard) {
+	for {
+		e.drainQueued(sh)
+		if e.inflight.Load() == 0 {
+			// Producers enqueue before decrementing inflight, so anything
+			// admitted before the load above is visible to this last sweep.
+			e.drainQueued(sh)
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// drainQueued gathers and answers until the shard's queue is empty.
+func (e *Engine) drainQueued(sh *shard) {
+	for {
+		select {
+		case req := <-sh.q:
+			e.gather(sh, req)
+		default:
+			return
+		}
+	}
+}
+
+// claim takes ownership of a dequeued request for batching. A request whose
+// caller abandoned it (deadline expired in the queue) is recycled here —
+// its caller has already returned — and excluded from the batch.
+func (e *Engine) claim(sh *shard, req *request) bool {
+	if req.state.CompareAndSwap(reqPending, reqClaimed) {
+		return true
+	}
+	e.recycle(req)
+	return false
+}
+
 // gather assembles a batch starting from first: it drains whatever is
 // already queued, then holds the partial batch open for up to MaxWait, and
-// flushes at MaxBatch or when the window expires.
+// flushes at MaxBatch or when the window expires. Abandoned requests are
+// skipped; a gather that claims nothing flushes nothing.
 func (e *Engine) gather(sh *shard, first *request) {
-	sh.batch[0] = first
-	n := 1
+	n := 0
+	if e.claim(sh, first) {
+		sh.batch[0] = first
+		n = 1
+	}
 	max := e.cfg.MaxBatch
 	for n < max {
 		select {
 		case r := <-sh.q:
-			sh.batch[n] = r
-			n++
+			if e.claim(sh, r) {
+				sh.batch[n] = r
+				n++
+			}
 			continue
 		default:
 		}
 		break
 	}
-	if n < max && e.cfg.MaxWait > 0 {
+	if n > 0 && n < max && e.cfg.MaxWait > 0 {
 		sh.timer.Reset(e.cfg.MaxWait)
 		open := true
 		for open && n < max {
 			select {
 			case r := <-sh.q:
-				sh.batch[n] = r
-				n++
+				if e.claim(sh, r) {
+					sh.batch[n] = r
+					n++
+				}
 			case <-sh.timer.C:
 				open = false
 			}
@@ -277,7 +537,53 @@ func (e *Engine) gather(sh *shard, first *request) {
 			stopTimer(sh.timer)
 		}
 	}
+	if n > 0 {
+		e.flushContained(sh, n)
+	}
+}
+
+// flushContained runs one flush with panic containment: a panicking forward
+// pass (or injected fault) is converted into a typed *ShardPanicError
+// answered to every request of the failed batch, the shard's batch cache is
+// rebuilt — the panic may have left it mid-write — and the worker keeps
+// serving. Other shards never notice.
+func (e *Engine) flushContained(sh *shard, n int) {
+	defer e.containFlushPanic(sh, n)
+	if faults.Armed() { // gate: Fire's boxed shard-index arg would allocate per flush
+		if err := faults.Fire("serve.flush", sh.idx); err != nil {
+			e.failBatch(sh, n, err)
+			return
+		}
+	}
 	e.flush(sh, n)
+}
+
+// containFlushPanic is flushContained's deferred recovery. It is a named
+// method rather than a closure so the happy path stays allocation-free
+// (a capturing deferred closure costs one heap allocation per flush).
+func (e *Engine) containFlushPanic(sh *shard, n int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	sh.panics.Add(1)
+	perr := &ShardPanicError{Shard: sh.idx, Value: r, Stack: string(stackTrace())}
+	sh.cache = e.newCache()
+	sh.lastSnap = nil
+	e.failBatch(sh, n, perr)
+}
+
+// failBatch answers every unanswered request of batch[:n] with err.
+func (e *Engine) failBatch(sh *shard, n int, err error) {
+	for i := 0; i < n; i++ {
+		req := sh.batch[i]
+		if req == nil {
+			continue
+		}
+		sh.batch[i] = nil
+		req.err = err
+		req.done <- struct{}{}
+	}
 }
 
 // flush answers batch[:n] with one batched forward pass against exactly one
@@ -311,6 +617,12 @@ func (e *Engine) flush(sh *shard, n int) {
 	sh.batches.Add(1)
 }
 
+// stackTrace captures the current goroutine's stack for panic reports.
+func stackTrace() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
 // stopTimer stops t and drains a pending fire, leaving it safe to Reset.
 func stopTimer(t *time.Timer) {
 	if !t.Stop() {
@@ -322,19 +634,14 @@ func stopTimer(t *time.Timer) {
 }
 
 // Close stops accepting requests, answers everything already enqueued, and
-// waits for the workers to exit. Idempotent; concurrent Selects either
-// complete normally or return ErrClosed.
+// waits for the workers to exit. Idempotent and safe to call mid-storm:
+// concurrent Selects either complete normally (their request was already
+// accepted) or return ErrEngineClosed — none block past the drain, and a
+// caller blocked waiting for queue space is woken immediately.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return
+	if e.closed.CompareAndSwap(false, true) {
+		close(e.stop)
 	}
-	e.closed = true
-	e.mu.Unlock()
-	// At this point no Select holds the read lock, so every accepted
-	// request is already in a queue; the workers drain them after stop.
-	close(e.stop)
 	e.wg.Wait()
 }
 
@@ -359,22 +666,72 @@ func (e *Engine) Batches() uint64 {
 	return n
 }
 
+// ShedQueue returns the number of requests shed because their deadline
+// expired while their shard's queue stayed full. Safe during serving.
+func (e *Engine) ShedQueue() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.shedQueue.Load()
+	}
+	return n
+}
+
+// ShedDeadline returns the number of requests shed because their deadline
+// expired while queued, before any worker batched them. Safe during serving.
+func (e *Engine) ShedDeadline() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.shedDeadline.Load()
+	}
+	return n
+}
+
+// Shed returns the total number of requests shed by admission control.
+func (e *Engine) Shed() uint64 { return e.ShedQueue() + e.ShedDeadline() }
+
+// Panics returns the number of contained shard-flush panics. Safe during
+// serving.
+func (e *Engine) Panics() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.panics.Load()
+	}
+	return n
+}
+
 // EngineStats is a point-in-time digest of the engine's serving counters and
 // latency distribution.
 type EngineStats struct {
-	Served   uint64        `json:"served"`
-	Batches  uint64        `json:"batches"`
-	AvgBatch float64       `json:"avg_batch"`
-	Workers  int           `json:"workers"`
-	Snapshot uint64        `json:"snapshot"`
-	Latency  stats.Summary `json:"latency_us"` // enqueue→computed, µs
+	Served       uint64        `json:"served"`
+	Batches      uint64        `json:"batches"`
+	AvgBatch     float64       `json:"avg_batch"`
+	Workers      int           `json:"workers"`
+	Snapshot     uint64        `json:"snapshot"`
+	ShedQueue    uint64        `json:"shed_queue"`
+	ShedDeadline uint64        `json:"shed_deadline"`
+	Panics       uint64        `json:"panics"`
+	Latency      stats.Summary `json:"latency_us"` // enqueue→computed, µs
+}
+
+// Shed returns the digest's total shed count.
+func (st EngineStats) Shed() uint64 { return st.ShedQueue + st.ShedDeadline }
+
+// ShedRate returns the fraction of offered requests shed by admission
+// control (0 when nothing was offered).
+func (st EngineStats) ShedRate() float64 {
+	offered := st.Served + st.Shed()
+	if offered == 0 {
+		return 0
+	}
+	return float64(st.Shed()) / float64(offered)
 }
 
 // EmitMetrics records the digest into reg under the unified BENCH schema
 // (DESIGN.md §8.6): serving throughput and speed metrics as scalars with
 // regression rules, the enqueue→computed latency as a "lower is better"
-// distribution. wallSeconds is the load phase's wall time (the engine
-// cannot know it; only the driver does).
+// distribution, and the degradation counters (sheds, contained panics) as
+// informational scalars. wallSeconds is the load phase's wall time (the
+// engine cannot know it; only the driver does).
 func (st EngineStats) EmitMetrics(reg *metrics.Registry, wallSeconds float64) {
 	reg.SetMetric("served", float64(st.Served), metrics.Info("requests"))
 	reg.SetMetric("batches", float64(st.Batches), metrics.Info("flushes"))
@@ -383,6 +740,8 @@ func (st EngineStats) EmitMetrics(reg *metrics.Registry, wallSeconds float64) {
 	if wallSeconds > 0 {
 		reg.SetMetric("throughput_rps", float64(st.Served)/wallSeconds, metrics.HigherIsBetter("req/s"))
 	}
+	reg.SetMetric("shed_requests", float64(st.Shed()), metrics.Info("requests"))
+	reg.SetMetric("shard_panics", float64(st.Panics), metrics.Info("panics"))
 	reg.SetDistribution("latency_us", st.Latency, metrics.LowerIsBetter("us"))
 }
 
@@ -391,13 +750,16 @@ func (st EngineStats) EmitMetrics(reg *metrics.Registry, wallSeconds float64) {
 // timestamp (its Count is the sampled count, not Served), and reads
 // worker-owned reservoirs, so call it only at quiescence — after Close, or
 // when no requests are in flight (between load phases). The counter
-// accessors (Served, Batches) are always safe.
+// accessors (Served, Batches, Shed*, Panics) are always safe.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Served:   e.Served(),
-		Batches:  e.Batches(),
-		Workers:  len(e.shards),
-		Snapshot: e.reg.Current().ID(),
+		Served:       e.Served(),
+		Batches:      e.Batches(),
+		Workers:      len(e.shards),
+		Snapshot:     e.reg.Current().ID(),
+		ShedQueue:    e.ShedQueue(),
+		ShedDeadline: e.ShedDeadline(),
+		Panics:       e.Panics(),
 	}
 	if st.Batches > 0 {
 		st.AvgBatch = float64(st.Served) / float64(st.Batches)

@@ -49,7 +49,7 @@ func TestEngineMatchesPredictArgmax(t *testing.T) {
 		rng := mathx.NewRNG(42)
 		net := nn.NewMLP(rng, []int{6, 16, 4}, nn.Tanh)
 		reg := NewRegistry(net)
-		eng := NewEngine(reg, Config{Workers: 2, MaxBatch: 8, NoGEMM: !gemm})
+		eng := MustNewEngine(reg, Config{Workers: 2, MaxBatch: 8, NoGEMM: !gemm})
 
 		x := make([]float64, 6)
 		for i := 0; i < 500; i++ {
@@ -76,7 +76,7 @@ func TestEngineConcurrentStorm(t *testing.T) {
 	reg := NewRegistry(rigged(3, 5, 2))
 	// LatencySample 1: every request carries a timestamp, so the reservoir
 	// count below proves none were dropped on the way to the summary.
-	eng := NewEngine(reg, Config{Workers: 4, MaxBatch: 16, LatencySample: 1})
+	eng := MustNewEngine(reg, Config{Workers: 4, MaxBatch: 16, LatencySample: 1})
 	defer eng.Close()
 
 	var wg sync.WaitGroup
@@ -121,7 +121,7 @@ func TestEngineConcurrentStorm(t *testing.T) {
 }
 
 func TestEngineSelectFeatureSizeMismatch(t *testing.T) {
-	eng := NewEngine(NewRegistry(rigged(4, 3, 0)), Config{Workers: 1})
+	eng := MustNewEngine(NewRegistry(rigged(4, 3, 0)), Config{Workers: 1})
 	defer eng.Close()
 	if _, err := eng.Select(make([]float64, 5)); err == nil {
 		t.Fatal("no error for wrong feature width")
@@ -129,7 +129,7 @@ func TestEngineSelectFeatureSizeMismatch(t *testing.T) {
 }
 
 func TestEngineClose(t *testing.T) {
-	eng := NewEngine(NewRegistry(rigged(2, 3, 1)), Config{Workers: 2, MaxBatch: 4, LatencySample: 1})
+	eng := MustNewEngine(NewRegistry(rigged(2, 3, 1)), Config{Workers: 2, MaxBatch: 4, LatencySample: 1})
 	if _, err := eng.Select([]float64{0, 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestEngineClose(t *testing.T) {
 }
 
 func TestEngineLatencySamplingDefault(t *testing.T) {
-	eng := NewEngine(NewRegistry(rigged(2, 3, 1)), Config{Workers: 1, MaxBatch: 4, MaxWait: -1})
+	eng := MustNewEngine(NewRegistry(rigged(2, 3, 1)), Config{Workers: 1, MaxBatch: 4, FlushImmediately: true})
 	defer eng.Close()
 	x := []float64{0, 0}
 	const n = 800
@@ -168,7 +168,7 @@ func TestEngineLatencySamplingDefault(t *testing.T) {
 func TestEngineSelectSteadyStateAllocs(t *testing.T) {
 	// Immediate-flush mode so sequential Selects complete without a batching
 	// window; one worker so the path is deterministic.
-	eng := NewEngine(NewRegistry(rigged(4, 3, 0)), Config{Workers: 1, MaxBatch: 8, MaxWait: -1})
+	eng := MustNewEngine(NewRegistry(rigged(4, 3, 0)), Config{Workers: 1, MaxBatch: 8, FlushImmediately: true})
 	defer eng.Close()
 	x := []float64{0.1, 0.2, 0.3, 0.4}
 	for i := 0; i < 100; i++ { // warm the request pool and cache scratch
