@@ -59,24 +59,30 @@ serve-race:
 # (rollout workers, swarm groups, and serving shards), the divergence
 # watchdog, shard determinism, zero-bandwidth download guards, the
 # atomic-write crash simulation, the netem cross-run determinism suite, the
-# swarm worker-count-invariance suite, and the serving degradation contract
+# swarm worker-count-invariance suite, the serving degradation contract
 # (overload shedding, deadline bounds, close-during-storm, reload retry and
 # circuit breaker, fallback decision identity) driven through the
-# serve.enqueue / serve.flush / serve.reload chaos points.
+# serve.enqueue / serve.flush / serve.reload chaos points, and the
+# multi-process training suite (worker kill -9 lane reassignment, coordinator
+# kill-and-resume, golden-fingerprint equivalence, checkpoint-directory
+# ownership) driven through the dist.accept / dist.assign / dist.recv chaos
+# points.
 faults:
-	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth|Determinism|SameSeed|Swarm|Overload|Deadline|Breaker|Reload|Fallback|Close|Fault' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/ ./internal/netem/ ./internal/swarm/ ./internal/serve/
+	$(GO) test -race -run 'Resume|Checkpoint|Panic|Divergence|Crash|WriteFileAtomic|EnvState|SessionState|Shard|Cursor|ZeroBandwidth|NonPositiveBandwidth|Determinism|SameSeed|Swarm|Overload|Deadline|Breaker|Reload|Fallback|Close|Fault|Dist' ./internal/rl/ ./internal/core/ ./internal/abr/ ./internal/fsx/ ./internal/trace/ ./internal/netem/ ./internal/swarm/ ./internal/serve/ ./internal/dist/
 
-# Short-mode benchmark suite behind the regression gate: the same four
-# producers as the full `make bench` (serving storm, swarm simulation,
-# adversary training, dataset evaluation), sized to finish in about a minute
-# so CI can afford to rerun them on every push. Each writes a unified-schema
-# BENCH_<area>.json (DESIGN.md §8.6) into the directory given as $(1).
+# Short-mode benchmark suite behind the regression gate: the same producers
+# as the full `make bench` (serving storm, swarm simulation, adversary
+# training, dataset evaluation) plus the multi-process training path, sized
+# to finish in about a minute so CI can afford to rerun them on every push.
+# Each writes a unified-schema BENCH_<area>.json (DESIGN.md §8.6) into the
+# directory given as $(1).
 define bench_short
 	mkdir -p $(1)
 	$(GO) run ./cmd/serve -n 60000 -batch 32 -storm 64 -json $(1)/BENCH_serve.json
 	$(GO) run ./cmd/swarm -clients 4000 -groups 64 -capacity 40 -protocol bb,rate,bola -json $(1)/BENCH_swarm.json
 	$(GO) run ./cmd/advtrain -domain abr -target bb -iters 6 -o $(1)/adversary.json -bench-json $(1)/BENCH_train.json
 	$(GO) run ./cmd/abreval -generate 24 -protocols bb,rate,bola -bench-json $(1)/BENCH_eval.json
+	$(GO) run ./cmd/disttrain -coordinator -lanes 4 -workers 2 -iters 6 -traces 16 -rollout-steps 256 -json $(1)/BENCH_dist.json
 endef
 
 bench-short:

@@ -1,0 +1,55 @@
+package dist
+
+import (
+	"time"
+
+	"advnet/internal/mathx"
+)
+
+// Backoff is the capped exponential retry schedule shared by worker
+// reconnects and the coordinator's wait-for-workers loop. It mirrors the
+// serving layer's reload retry shape (serve.ReloadConfig): delay k is
+// Base<<k capped at Max, jittered down to [50%, 100%] so a fleet of workers
+// restarted together does not hammer the coordinator in lockstep.
+type Backoff struct {
+	Base time.Duration // first retry delay; <= 0 means DefaultBackoffBase
+	Max  time.Duration // delay cap; <= 0 means DefaultBackoffMax
+}
+
+// Default backoff schedule: 50ms, 100ms, 200ms, ... capped at 2s.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffMax  = 2 * time.Second
+)
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return DefaultBackoffBase
+	}
+	return b.Base
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max <= 0 {
+		return DefaultBackoffMax
+	}
+	return b.Max
+}
+
+// Delay returns the jittered delay before retry attempt (0-based). rng
+// supplies the jitter; the result is always in (0, Max].
+func (b Backoff) Delay(attempt int, rng *mathx.RNG) time.Duration {
+	base, max := b.base(), b.max()
+	d := base
+	if attempt > 0 {
+		if attempt >= 63 {
+			d = max
+		} else {
+			d = base << uint(attempt)
+			if d > max || d <= 0 { // <= 0: the shift overflowed
+				d = max
+			}
+		}
+	}
+	return time.Duration((0.5 + 0.5*rng.Float64()) * float64(d))
+}

@@ -1,0 +1,599 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"advnet/internal/faults"
+	"advnet/internal/mathx"
+	"advnet/internal/metrics"
+	"advnet/internal/rl"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	Addr       string          // listen address; empty means "127.0.0.1:0"
+	Domain     string          // registered Domain name
+	Spec       json.RawMessage // domain spec, shipped to workers verbatim
+	Lanes      int             // rollout lanes (the determinism unit, = VecRunner workers)
+	Iterations int             // total training iterations
+
+	// Checkpoint enables periodic crash-safe checkpoints (rl.CheckpointDir
+	// with an ownership claim). Resume continues from the newest checkpoint
+	// in the directory when one exists.
+	Checkpoint rl.CheckpointConfig
+	Resume     bool
+
+	// Backoff paces the wait for a live worker when none is connected;
+	// after WaitRounds sleeps Run fails with a typed *NoWorkersError.
+	// WaitRounds <= 0 means DefaultWaitRounds.
+	Backoff    Backoff
+	WaitRounds int
+
+	// OnIteration, when set, observes each completed iteration. The kill
+	// tests use it to murder workers at precise boundaries.
+	OnIteration func(iter int, stats rl.IterStats)
+
+	// Registry, when set, receives the dist telemetry area (batches/s,
+	// bytes on wire, reassignments).
+	Registry *metrics.Registry
+}
+
+// DefaultWaitRounds bounds the wait for a first (or replacement) worker:
+// with the default backoff schedule the total wait is roughly ten seconds.
+const DefaultWaitRounds = 12
+
+func (c Config) waitRounds() int {
+	if c.WaitRounds <= 0 {
+		return DefaultWaitRounds
+	}
+	return c.WaitRounds
+}
+
+// NoWorkersError reports that the coordinator exhausted its wait for a live
+// worker process with lanes still unassigned.
+type NoWorkersError struct {
+	Rounds int
+}
+
+func (e *NoWorkersError) Error() string {
+	return fmt.Sprintf("dist: no live workers after %d wait rounds", e.Rounds)
+}
+
+// LaneError is a deterministic lane failure reported by a worker (an
+// environment or policy panic during the rollout). It aborts the run:
+// unlike a connection loss, re-running the same lane state elsewhere would
+// fail identically.
+type LaneError struct {
+	Lane int
+	Msg  string
+}
+
+func (e *LaneError) Error() string {
+	return fmt.Sprintf("dist: lane %d failed deterministically: %s", e.Lane, e.Msg)
+}
+
+// WorkerLostError records one worker-connection loss (kill -9, network
+// partition, corrupt frame). Lost workers are handled by reassignment, not
+// by failing the run; the coordinator keeps the most recent loss for
+// inspection via LastWorkerLoss.
+type WorkerLostError struct {
+	Worker int // connection id
+	Err    error
+}
+
+func (e *WorkerLostError) Error() string {
+	return fmt.Sprintf("dist: lost worker conn %d: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerLostError) Unwrap() error { return e.Err }
+
+// workerConn is one accepted worker connection. After the handshake all
+// frame I/O on the connection happens from the single round goroutine it is
+// assigned to, so no lock guards the conn itself.
+type workerConn struct {
+	id            int
+	conn          net.Conn
+	paramsVersion uint64 // last broadcast this conn received
+}
+
+// Coordinator owns the trainer and drives worker processes through
+// collect rounds. Construct with NewCoordinator, drive with Run, always
+// Close.
+type Coordinator struct {
+	cfg   Config
+	dom   Domain
+	ppo   *rl.PPO
+	state []rl.LaneState
+	steps []int
+	ckpt  *rl.CheckpointDir
+
+	ln        net.Listener
+	jitter    *mathx.RNG
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	conns     map[int]*workerConn
+	nextID    int
+	connAdded chan struct{}
+	lastLoss  *WorkerLostError
+
+	paramsVersion uint64
+	paramsBuf     []byte
+
+	wireBytes     atomic.Int64
+	reassignments atomic.Int64
+	batches       atomic.Int64
+}
+
+// NewCoordinator builds the trainer for the configured domain, binds the
+// listen socket, claims the checkpoint directory (when configured), and —
+// with Resume set and a checkpoint present — restores the newest checkpoint.
+// It does not collect anything until Run.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Lanes <= 0 {
+		return nil, fmt.Errorf("dist: Config.Lanes=%d", cfg.Lanes)
+	}
+	if cfg.Iterations < 0 {
+		return nil, fmt.Errorf("dist: Config.Iterations=%d", cfg.Iterations)
+	}
+	dom, err := LookupDomain(cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	ppo, factory, err := dom.NewTrainer(cfg.Spec, cfg.Lanes)
+	if err != nil {
+		return nil, err
+	}
+	// NewLaneStates consumes the trainer RNG in the canonical order even on
+	// the resume path — the restore below overwrites every RNG anyway, and
+	// fresh starts depend on the consumption happening exactly once here.
+	state, err := ppo.NewLaneStates(factory, cfg.Lanes)
+	if err != nil {
+		return nil, err
+	}
+	steps, err := ppo.LaneSteps(cfg.Lanes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		dom:       dom,
+		ppo:       ppo,
+		state:     state,
+		steps:     steps,
+		jitter:    mathx.NewRNG(1),
+		closed:    make(chan struct{}),
+		conns:     map[int]*workerConn{},
+		connAdded: make(chan struct{}, 1),
+	}
+	if cfg.Checkpoint.Dir != "" {
+		c.ckpt = &rl.CheckpointDir{Dir: cfg.Checkpoint.Dir, Keep: cfg.Checkpoint.Keep}
+		if err := c.ckpt.Acquire(); err != nil {
+			return nil, err
+		}
+		if cfg.Resume {
+			if _, _, err := c.ckpt.Latest(); err == nil {
+				if _, err := c.ckpt.LoadLatest(func(path string) error {
+					restored, err := ppo.LoadDistCheckpoint(path)
+					if err != nil {
+						return err
+					}
+					if len(restored) != cfg.Lanes {
+						return fmt.Errorf("dist: checkpoint carries %d lanes, coordinator configured for %d", len(restored), cfg.Lanes)
+					}
+					c.state = restored
+					return nil
+				}); err != nil {
+					c.ckpt.Release()
+					return nil, err
+				}
+			}
+		}
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if c.ckpt != nil {
+			c.ckpt.Release()
+		}
+		return nil, err
+	}
+	c.ln = ln
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's bound listen address (useful with ":0").
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Reassignments returns the number of lane requests that had to be re-sent
+// because the worker serving them was lost.
+func (c *Coordinator) Reassignments() int64 { return c.reassignments.Load() }
+
+// WireBytes returns the total bytes moved over worker connections.
+func (c *Coordinator) WireBytes() int64 { return c.wireBytes.Load() }
+
+// LastWorkerLoss returns the most recent worker-connection loss, or nil.
+func (c *Coordinator) LastWorkerLoss() *WorkerLostError {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastLoss
+}
+
+// Iteration returns the trainer's completed iteration count.
+func (c *Coordinator) Iteration() int { return c.ppo.Iteration() }
+
+// Trainer exposes the coordinator's PPO trainer (parameters, stats) for
+// inspection after Run.
+func (c *Coordinator) Trainer() *rl.PPO { return c.ppo }
+
+// Close shuts the listener and every worker connection. Workers that are
+// mid-reconnect will fail their dials and exit by their own retry caps.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.ln.Close()
+		c.mu.Lock()
+		for id, w := range c.conns {
+			w.conn.Close()
+			delete(c.conns, id)
+		}
+		c.mu.Unlock()
+		if c.ckpt != nil {
+			c.ckpt.Release()
+		}
+	})
+}
+
+// acceptLoop admits worker connections for the coordinator's lifetime.
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if err := faults.Fire("dist.accept", conn.RemoteAddr().String()); err != nil {
+			conn.Close()
+			continue
+		}
+		go c.handshake(conn)
+	}
+}
+
+// handshake validates a worker's hello, replies with the domain spec, and
+// registers the connection for lane assignment.
+func (c *Coordinator) handshake(conn net.Conn) {
+	t, body, n, err := readFrame(conn)
+	c.wireBytes.Add(int64(n))
+	if err != nil || t != MsgHello {
+		conn.Close()
+		return
+	}
+	var hello helloMsg
+	if json.Unmarshal(body, &hello) != nil || hello.Version != ProtocolVersion {
+		conn.Close()
+		return
+	}
+	payload, err := json.Marshal(specMsg{Domain: c.cfg.Domain, Spec: c.cfg.Spec, Lanes: c.cfg.Lanes})
+	if err != nil {
+		conn.Close()
+		return
+	}
+	n, err = writeFrame(conn, MsgSpec, payload)
+	c.wireBytes.Add(int64(n))
+	if err != nil {
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	id := c.nextID
+	c.nextID++
+	c.conns[id] = &workerConn{id: id, conn: conn}
+	c.mu.Unlock()
+	select {
+	case c.connAdded <- struct{}{}:
+	default:
+	}
+}
+
+// liveConns snapshots the registered connections in id order.
+func (c *Coordinator) liveConns() []*workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*workerConn, 0, len(c.conns))
+	for _, w := range c.conns {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// dropConn removes a lost worker connection and records the loss.
+func (c *Coordinator) dropConn(w *workerConn, cause error) {
+	w.conn.Close()
+	c.mu.Lock()
+	delete(c.conns, w.id)
+	c.lastLoss = &WorkerLostError{Worker: w.id, Err: cause}
+	c.mu.Unlock()
+}
+
+// waitWorkers returns the live connections, sleeping through the backoff
+// schedule while none are registered.
+func (c *Coordinator) waitWorkers() ([]*workerConn, error) {
+	for attempt := 0; ; attempt++ {
+		if conns := c.liveConns(); len(conns) > 0 {
+			return conns, nil
+		}
+		if attempt >= c.cfg.waitRounds() {
+			return nil, &NoWorkersError{Rounds: attempt}
+		}
+		select {
+		case <-c.connAdded:
+		case <-time.After(c.cfg.Backoff.Delay(attempt, c.jitter)):
+		case <-c.closed:
+			return nil, fmt.Errorf("dist: coordinator closed")
+		}
+	}
+}
+
+// bumpParams re-encodes the current trainer parameters under a new version.
+// Called between rounds only, when no round goroutine is running.
+func (c *Coordinator) bumpParams() {
+	c.paramsVersion++
+	c.paramsBuf = encodeParams(c.paramsVersion, c.ppo.Policy.Params(), c.ppo.Value.Params())
+}
+
+// ensureParams lazily brings one connection up to the current broadcast.
+func (c *Coordinator) ensureParams(w *workerConn) error {
+	if w.paramsVersion == c.paramsVersion {
+		return nil
+	}
+	n, err := writeFrame(w.conn, MsgParams, c.paramsBuf)
+	c.wireBytes.Add(int64(n))
+	if err != nil {
+		return err
+	}
+	w.paramsVersion = c.paramsVersion
+	return nil
+}
+
+// laneResult is one lane's outcome within a collect round.
+type laneResult struct {
+	lane  int
+	batch *rl.RolloutBatch
+	err   error // nil; *LaneError (abort); anything else = connection failure
+	conn  *workerConn
+}
+
+// collectOn drives one connection through its assigned lanes sequentially,
+// reporting exactly one result per lane. Any transport or framing failure
+// fails the current and all remaining lanes on this connection.
+func (c *Coordinator) collectOn(w *workerConn, lanes []int, results chan<- laneResult) {
+	fail := func(from int, err error) {
+		for _, lane := range lanes[from:] {
+			results <- laneResult{lane: lane, err: err, conn: w}
+		}
+	}
+	for i, lane := range lanes {
+		if err := faults.Fire("dist.assign", lane, w.id); err != nil {
+			fail(i, err)
+			return
+		}
+		if err := c.ensureParams(w); err != nil {
+			fail(i, err)
+			return
+		}
+		payload, err := json.Marshal(collectMsg{
+			Iter:          c.ppo.Iteration(),
+			Lane:          lane,
+			Steps:         c.steps[lane],
+			ParamsVersion: c.paramsVersion,
+			State:         c.state[lane],
+		})
+		if err != nil {
+			fail(i, err)
+			return
+		}
+		n, err := writeFrame(w.conn, MsgCollect, payload)
+		c.wireBytes.Add(int64(n))
+		if err != nil {
+			fail(i, err)
+			return
+		}
+		if err := faults.Fire("dist.recv", w.id, lane); err != nil {
+			fail(i, err)
+			return
+		}
+		t, body, n, err := readFrame(w.conn)
+		c.wireBytes.Add(int64(n))
+		if err != nil {
+			fail(i, err)
+			return
+		}
+		switch t {
+		case MsgBatch:
+			b, err := decodeBatch(body)
+			if err != nil {
+				fail(i, err)
+				return
+			}
+			if b.Lane != lane {
+				fail(i, &FrameError{Op: "decode", Reason: fmt.Sprintf("batch for lane %d, asked for %d", b.Lane, lane)})
+				return
+			}
+			c.batches.Add(1)
+			results <- laneResult{lane: lane, batch: b, conn: w}
+		case MsgLaneError:
+			var le laneErrorMsg
+			if json.Unmarshal(body, &le) != nil {
+				fail(i, &FrameError{Op: "decode", Reason: "lane-error payload"})
+				return
+			}
+			results <- laneResult{lane: lane, err: &LaneError{Lane: lane, Msg: le.Err}, conn: w}
+		default:
+			fail(i, &FrameError{Op: "read", Reason: fmt.Sprintf("unexpected %s during collect", t)})
+			return
+		}
+	}
+}
+
+// runIteration performs one distributed iteration: assign every lane to a
+// live worker (reassigning across rounds as workers die), merge the batches
+// in lane order, update. Only a deterministic *LaneError, worker starvation,
+// or a trainer-side failure aborts; connection losses are absorbed.
+func (c *Coordinator) runIteration() (rl.IterStats, error) {
+	c.state[0].RNG = c.ppo.RNGState() // lane 0 shares the trainer RNG
+	batches := make([]*rl.RolloutBatch, c.cfg.Lanes)
+	pending := make([]int, c.cfg.Lanes)
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		conns, err := c.waitWorkers()
+		if err != nil {
+			return rl.IterStats{}, err
+		}
+		assign := map[*workerConn][]int{}
+		for i, lane := range pending {
+			w := conns[i%len(conns)]
+			assign[w] = append(assign[w], lane)
+		}
+		results := make(chan laneResult, len(pending))
+		for w, lanes := range assign {
+			go c.collectOn(w, lanes, results)
+		}
+		var failed []int
+		dropped := map[int]bool{}
+		for range pending {
+			r := <-results
+			if r.err == nil {
+				batches[r.lane] = r.batch
+				continue
+			}
+			var le *LaneError
+			if errors.As(r.err, &le) {
+				return rl.IterStats{}, r.err
+			}
+			if !dropped[r.conn.id] {
+				dropped[r.conn.id] = true
+				c.dropConn(r.conn, r.err)
+			}
+			failed = append(failed, r.lane)
+		}
+		if len(failed) > 0 {
+			sort.Ints(failed)
+			c.reassignments.Add(int64(len(failed)))
+		}
+		pending = failed
+	}
+	stats, err := c.ppo.ApplyRemoteRollouts(batches)
+	if err != nil {
+		return stats, err
+	}
+	for i := range c.state {
+		c.state[i] = batches[i].End
+	}
+	return stats, nil
+}
+
+// Run drives the configured number of training iterations (continuing from
+// the restored iteration when resuming) and returns the per-iteration
+// stats. On success every worker is sent a shutdown frame. Run may be
+// called once; Close releases everything it held.
+func (c *Coordinator) Run() ([]rl.IterStats, error) {
+	start := time.Now()
+	var out []rl.IterStats
+	var iterTimer *metrics.Timer
+	if c.cfg.Registry != nil {
+		c.cfg.Registry.SetConfig("domain", c.cfg.Domain)
+		c.cfg.Registry.SetConfig("lanes", c.cfg.Lanes)
+		c.cfg.Registry.SetConfig("iterations", c.cfg.Iterations)
+		iterTimer = c.cfg.Registry.Timer("iteration", metrics.LowerIsBetter("s"))
+	}
+	for c.ppo.Iteration() < c.cfg.Iterations {
+		c.bumpParams()
+		t0 := time.Now()
+		stats, err := c.runIteration()
+		if err != nil {
+			return out, err
+		}
+		if iterTimer != nil {
+			iterTimer.Observe(time.Since(t0))
+		}
+		out = append(out, stats)
+		if c.cfg.OnIteration != nil {
+			c.cfg.OnIteration(stats.Iteration, stats)
+		}
+		if c.ckpt != nil {
+			every := c.cfg.Checkpoint.Every
+			if every <= 0 {
+				every = 1
+			}
+			if c.ppo.Iteration()%every == 0 || c.ppo.Iteration() == c.cfg.Iterations {
+				if err := c.ckpt.Save(c.ppo.Iteration(), func(path string) error {
+					return c.ppo.SaveDistCheckpoint(path, c.state)
+				}); err != nil {
+					return out, err
+				}
+			}
+		}
+	}
+	c.shutdownWorkers()
+	if c.cfg.Registry != nil {
+		elapsed := time.Since(start).Seconds()
+		if elapsed > 0 {
+			c.cfg.Registry.SetMetric("batches_per_s", float64(c.batches.Load())/elapsed, metrics.HigherIsBetter("batches/s"))
+		}
+		c.cfg.Registry.SetMetric("wire_bytes", float64(c.wireBytes.Load()), metrics.Info("bytes"))
+		c.cfg.Registry.SetMetric("reassignments", float64(c.reassignments.Load()), metrics.Info("count"))
+		c.cfg.Registry.SetMetric("batches_total", float64(c.batches.Load()), metrics.Info("count"))
+		c.cfg.Registry.SetMetric("wall_s", elapsed, metrics.Info("s"))
+	}
+	return out, nil
+}
+
+// LaneStates returns a copy of the current lane boundary states (what the
+// next iteration would send, and what checkpoints persist).
+func (c *Coordinator) LaneStates() []rl.LaneState {
+	out := make([]rl.LaneState, len(c.state))
+	copy(out, c.state)
+	return out
+}
+
+// shutdownWorkers tells every live worker the run is complete.
+func (c *Coordinator) shutdownWorkers() {
+	for _, w := range c.liveConns() {
+		n, _ := writeFrame(w.conn, MsgShutdown, nil)
+		c.wireBytes.Add(int64(n))
+		w.conn.Close()
+		c.mu.Lock()
+		delete(c.conns, w.id)
+		c.mu.Unlock()
+	}
+}

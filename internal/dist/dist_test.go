@@ -1,0 +1,453 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"advnet/internal/faults"
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+	"advnet/internal/rl"
+)
+
+// testSpec is the shared small pensieve workload: big enough to exercise
+// multi-episode lanes and pending-episode hand-off, small enough to train
+// in milliseconds.
+func testSpec() PensieveSpec {
+	return PensieveSpec{Seed: 5, DatasetSeed: 21, Traces: 8, RolloutSteps: 64}
+}
+
+func testBackoff() Backoff {
+	return Backoff{Base: 2 * time.Millisecond, Max: 40 * time.Millisecond}
+}
+
+// paramsFingerprint hashes the trainer's full parameter vector bitwise.
+func paramsFingerprint(p *rl.PPO) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, params := range [][][]float64{p.Policy.Params(), p.Value.Params()} {
+		for _, g := range params {
+			for _, v := range g {
+				bits := math.Float64bits(v)
+				for i := 0; i < 8; i++ {
+					b[i] = byte(bits >> (8 * i))
+				}
+				h.Write(b[:])
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// localRun trains the same workload in-process through rl.VecRunner — the
+// golden baseline every distributed run must match bitwise.
+func localRun(t *testing.T, spec PensieveSpec, lanes, iters int) (*rl.PPO, []rl.IterStats) {
+	t.Helper()
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := LookupDomain("pensieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppo, factory, err := dom.NewTrainer(raw, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ppo.TrainParallel(factory, lanes, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ppo, stats
+}
+
+// newTestCoordinator builds a coordinator for the shared workload on an
+// ephemeral port.
+func newTestCoordinator(t *testing.T, spec PensieveSpec, lanes, iters int, mutate func(*Config)) *Coordinator {
+	t.Helper()
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Domain:     "pensieve",
+		Spec:       raw,
+		Lanes:      lanes,
+		Iterations: iters,
+		Backoff:    testBackoff(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// startWorker runs an in-process worker against the coordinator; the
+// returned channel carries RunWorker's exit error.
+func startWorker(t *testing.T, addr string) chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(WorkerConfig{Addr: addr, Backoff: testBackoff(), MaxDialAttempts: 50})
+	}()
+	return done
+}
+
+// waitWorkerExit asserts a worker shut down cleanly (coordinator sent
+// MsgShutdown) within a bounded wait.
+func waitWorkerExit(t *testing.T, done chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not shut down")
+	}
+}
+
+func assertStatsEqual(t *testing.T, got, want []rl.IterStats) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d iterations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iter %d stats diverge:\ndist %+v\nvec  %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDistGoldenFingerprint is the tentpole acceptance test: a coordinator
+// driving real worker processes' lanes over real TCP produces
+// bitwise-identical per-iteration stats and final parameters to an
+// in-process rl.VecRunner with the same lane count, for W ∈ {1, 4}.
+func TestDistGoldenFingerprint(t *testing.T) {
+	for _, W := range []int{1, 4} {
+		t.Run(fmt.Sprintf("W=%d", W), func(t *testing.T) {
+			const iters = 3
+			spec := testSpec()
+			vec, vecStats := localRun(t, spec, W, iters)
+
+			c := newTestCoordinator(t, spec, W, iters, nil)
+			worker := startWorker(t, c.Addr())
+			stats, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitWorkerExit(t, worker)
+
+			assertStatsEqual(t, stats, vecStats)
+			if got, want := paramsFingerprint(c.Trainer()), paramsFingerprint(vec); got != want {
+				t.Fatalf("dist fingerprint %#x, vec %#x", got, want)
+			}
+		})
+	}
+}
+
+// TestDistWorkerCountInvariance: the process count is a pure throughput
+// knob. W=4 lanes served by one worker connection and by three produce
+// identical stats and parameters (both equal to the VecRunner golden).
+func TestDistWorkerCountInvariance(t *testing.T) {
+	const W, iters = 4, 3
+	spec := testSpec()
+	vec, vecStats := localRun(t, spec, W, iters)
+	want := paramsFingerprint(vec)
+
+	for _, procs := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", procs), func(t *testing.T) {
+			c := newTestCoordinator(t, spec, W, iters, nil)
+			var workers []chan error
+			for i := 0; i < procs; i++ {
+				workers = append(workers, startWorker(t, c.Addr()))
+			}
+			stats, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workers {
+				waitWorkerExit(t, w)
+			}
+			assertStatsEqual(t, stats, vecStats)
+			if got := paramsFingerprint(c.Trainer()); got != want {
+				t.Fatalf("%d-worker fingerprint %#x, vec %#x", procs, got, want)
+			}
+		})
+	}
+}
+
+// oneShot installs a fault hook that fires exactly once.
+func oneShot(t *testing.T, point string, err error) *atomic.Int64 {
+	t.Helper()
+	var fired atomic.Int64
+	faults.Set(point, func(args ...any) error {
+		if fired.Add(1) == 1 {
+			return err
+		}
+		return nil
+	})
+	t.Cleanup(func() { faults.Clear(point) })
+	return &fired
+}
+
+// TestDistFaultAcceptChaos: a rejected accept ("dist.accept" chaos point)
+// costs the worker one reconnect and nothing else — the run completes and
+// still matches the golden fingerprint.
+func TestDistFaultAcceptChaos(t *testing.T) {
+	const W, iters = 2, 2
+	spec := testSpec()
+	vec, vecStats := localRun(t, spec, W, iters)
+
+	fired := oneShot(t, "dist.accept", errors.New("injected accept failure"))
+	c := newTestCoordinator(t, spec, W, iters, nil)
+	worker := startWorker(t, c.Addr())
+	stats, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitWorkerExit(t, worker)
+	if fired.Load() == 0 {
+		t.Fatal("accept chaos point never fired")
+	}
+	assertStatsEqual(t, stats, vecStats)
+	if got, want := paramsFingerprint(c.Trainer()), paramsFingerprint(vec); got != want {
+		t.Fatalf("fingerprint %#x after accept chaos, vec %#x", got, want)
+	}
+}
+
+// TestDistFaultRecvChaos: a receive failure ("dist.recv") drops the
+// connection mid-round; the lanes are reassigned (to the same worker's
+// fresh connection here) and the result is still bitwise golden.
+func TestDistFaultRecvChaos(t *testing.T) {
+	testConnLossChaos(t, "dist.recv")
+}
+
+// TestDistFaultAssignChaos: same contract for the assignment chaos point.
+func TestDistFaultAssignChaos(t *testing.T) {
+	testConnLossChaos(t, "dist.assign")
+}
+
+func testConnLossChaos(t *testing.T, point string) {
+	const W, iters = 2, 2
+	spec := testSpec()
+	vec, vecStats := localRun(t, spec, W, iters)
+
+	oneShot(t, point, fmt.Errorf("injected %s failure", point))
+	c := newTestCoordinator(t, spec, W, iters, nil)
+	worker := startWorker(t, c.Addr())
+	stats, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitWorkerExit(t, worker)
+	if c.Reassignments() == 0 {
+		t.Fatalf("%s chaos caused no reassignment", point)
+	}
+	if c.LastWorkerLoss() == nil {
+		t.Fatalf("%s chaos recorded no worker loss", point)
+	}
+	assertStatsEqual(t, stats, vecStats)
+	if got, want := paramsFingerprint(c.Trainer()), paramsFingerprint(vec); got != want {
+		t.Fatalf("fingerprint %#x after %s chaos, vec %#x", got, point, want)
+	}
+}
+
+// TestDistNoWorkersTypedError: a coordinator with no workers fails its run
+// with *NoWorkersError instead of hanging.
+func TestDistNoWorkersTypedError(t *testing.T) {
+	c := newTestCoordinator(t, testSpec(), 2, 1, func(cfg *Config) {
+		cfg.WaitRounds = 3
+	})
+	_, err := c.Run()
+	var nw *NoWorkersError
+	if !errors.As(err, &nw) {
+		t.Fatalf("got %v, want *NoWorkersError", err)
+	}
+}
+
+// --- mini domain: deterministic lane-failure coverage ----------------------
+
+// miniEnv is a trivial continuous-control environment whose whole state is
+// one counter; panicAt >= 0 makes Step panic at that step index, modelling
+// a deterministic environment bug.
+type miniEnv struct {
+	step    int
+	live    bool
+	horizon int
+	panicAt int
+}
+
+func (e *miniEnv) obs() []float64 { return []float64{float64(e.step) / float64(e.horizon)} }
+
+func (e *miniEnv) Reset() []float64 {
+	e.step = 0
+	e.live = true
+	return e.obs()
+}
+
+func (e *miniEnv) Step(action []float64) ([]float64, float64, bool) {
+	if e.panicAt >= 0 && e.step == e.panicAt {
+		panic("mini env: injected deterministic failure")
+	}
+	e.step++
+	d := action[0] - 1.2
+	return e.obs(), -d * d, e.step >= e.horizon
+}
+
+func (e *miniEnv) ObservationSize() int      { return 1 }
+func (e *miniEnv) ActionSpec() rl.ActionSpec { return rl.ActionSpec{Dim: 1} }
+
+type miniEnvState struct {
+	Step int  `json:"step"`
+	Live bool `json:"live"`
+}
+
+func (e *miniEnv) EnvState() ([]byte, error) {
+	return json.Marshal(miniEnvState{Step: e.step, Live: e.live})
+}
+
+func (e *miniEnv) SetEnvState(data []byte) error {
+	var st miniEnvState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	e.step, e.live = st.Step, st.Live
+	return nil
+}
+
+// miniSpec parameterizes the test-only "mini" domain.
+type miniSpec struct {
+	Seed         uint64 `json:"seed"`
+	RolloutSteps int    `json:"rollout_steps"`
+	PanicAt      int    `json:"panic_at"` // -1 = healthy
+}
+
+type miniDomain struct{}
+
+func init() { Register("mini", miniDomain{}) }
+
+func (miniDomain) model(spec miniSpec) (*rl.GaussianPolicy, *nn.MLP, rl.PPOConfig, *mathx.RNG) {
+	rng := mathx.NewRNG(spec.Seed)
+	policy := rl.NewGaussianPolicy(nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh), -0.5)
+	policy.MaxLogStd = 0
+	value := nn.NewMLP(rng, []int{1, 8, 1}, nn.Tanh)
+	cfg := rl.DefaultPPOConfig()
+	cfg.RolloutSteps = spec.RolloutSteps
+	cfg.MinibatchSize = 16
+	return policy, value, cfg, rng
+}
+
+func (d miniDomain) NewTrainer(raw json.RawMessage, lanes int) (*rl.PPO, rl.EnvFactory, error) {
+	var spec miniSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, nil, err
+	}
+	policy, value, cfg, rng := d.model(spec)
+	ppo, err := rl.NewPPO(policy, value, cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ppo, func(int) rl.Env {
+		return &miniEnv{horizon: 9, panicAt: spec.PanicAt}
+	}, nil
+}
+
+func (d miniDomain) NewLane(raw json.RawMessage, lane, lanes int) (*rl.Lane, error) {
+	var spec miniSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, err
+	}
+	policy, value, cfg, _ := d.model(spec)
+	return rl.NewLane(policy, value, &miniEnv{horizon: 9, panicAt: spec.PanicAt}, cfg.Gamma, cfg.Lambda)
+}
+
+// TestDistMiniDomainGolden: the registry's second domain trains bitwise
+// golden too — the equivalence is a property of the substrate, not of the
+// pensieve adapter.
+func TestDistMiniDomainGolden(t *testing.T) {
+	const W, iters = 4, 4
+	spec := miniSpec{Seed: 77, RolloutSteps: 40, PanicAt: -1}
+	raw, _ := json.Marshal(spec)
+	dom, err := LookupDomain("mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, factory, err := dom.NewTrainer(raw, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecStats, err := vec.TrainParallel(factory, W, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(Config{
+		Domain: "mini", Spec: raw, Lanes: W, Iterations: iters, Backoff: testBackoff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	worker := startWorker(t, c.Addr())
+	stats, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitWorkerExit(t, worker)
+	assertStatsEqual(t, stats, vecStats)
+	if got, want := paramsFingerprint(c.Trainer()), paramsFingerprint(vec); got != want {
+		t.Fatalf("mini dist fingerprint %#x, vec %#x", got, want)
+	}
+}
+
+// TestDistLaneErrorAborts: a deterministic in-lane failure (environment
+// panic) is reported over the wire, surfaces as a typed *LaneError, aborts
+// the run — and does NOT kill the worker process, which exits cleanly on
+// the connection close instead of by crashing.
+func TestDistLaneErrorAborts(t *testing.T) {
+	raw, _ := json.Marshal(miniSpec{Seed: 77, RolloutSteps: 40, PanicAt: 5})
+	c, err := NewCoordinator(Config{
+		Domain: "mini", Spec: raw, Lanes: 2, Iterations: 2, Backoff: testBackoff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := startWorker(t, c.Addr())
+	_, err = c.Run()
+	var le *LaneError
+	if !errors.As(err, &le) {
+		t.Fatalf("got %v, want *LaneError", err)
+	}
+	c.Close() // closes the worker's conn; the worker must exit via its dial cap
+	select {
+	case <-worker:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not exit after coordinator close")
+	}
+}
+
+// TestDistUnknownDomainTyped: the registry rejects unknown domains with the
+// typed error on both construction paths.
+func TestDistUnknownDomainTyped(t *testing.T) {
+	_, err := NewCoordinator(Config{Domain: "no-such-domain", Lanes: 1, Iterations: 1})
+	var ud *UnknownDomainError
+	if !errors.As(err, &ud) {
+		t.Fatalf("got %v, want *UnknownDomainError", err)
+	}
+	if _, err := LookupDomain("also-missing"); !errors.As(err, &ud) {
+		t.Fatalf("lookup: got %v, want *UnknownDomainError", err)
+	}
+}

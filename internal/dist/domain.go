@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"advnet/internal/rl"
+)
+
+// Domain adapts one training problem to distributed execution. The spec is
+// an opaque JSON document the coordinator ships to every worker verbatim;
+// both sides must derive identical immutable inputs (corpora, videos, shard
+// assignments) from it, because only the mutable lane state crosses the
+// wire afterwards.
+type Domain interface {
+	// NewTrainer builds the coordinator-side trainer and the environment
+	// factory used to capture the canonical initial lane states. It must
+	// consume the domain's root RNG in exactly the order the in-process
+	// training path does — that ordering is what makes the distributed run
+	// bitwise-identical to the domain's VecRunner run.
+	NewTrainer(spec json.RawMessage, lanes int) (*rl.PPO, rl.EnvFactory, error)
+	// NewLane builds the worker-side lane for one lane slot: policy/value
+	// clones with the trainer's architecture and hyperparameters (the
+	// parameter values are irrelevant — every collect is preceded by a
+	// broadcast) plus an environment over the same immutable inputs and
+	// shard assignment the trainer's factory used.
+	NewLane(spec json.RawMessage, lane, lanes int) (*rl.Lane, error)
+}
+
+// UnknownDomainError names a domain the receiving process has not
+// registered — typically a version skew between coordinator and worker
+// binaries.
+type UnknownDomainError struct {
+	Name       string
+	Registered []string
+}
+
+func (e *UnknownDomainError) Error() string {
+	return fmt.Sprintf("dist: unknown domain %q (registered: %v)", e.Name, e.Registered)
+}
+
+var (
+	domainMu sync.Mutex
+	domains  = map[string]Domain{}
+)
+
+// Register installs a domain under a name. Domains register from package
+// init functions; a duplicate name is a programming error and panics.
+func Register(name string, d Domain) {
+	domainMu.Lock()
+	defer domainMu.Unlock()
+	if _, ok := domains[name]; ok {
+		panic(fmt.Sprintf("dist: domain %q registered twice", name))
+	}
+	domains[name] = d
+}
+
+// LookupDomain resolves a registered domain by name.
+func LookupDomain(name string) (Domain, error) {
+	domainMu.Lock()
+	defer domainMu.Unlock()
+	if d, ok := domains[name]; ok {
+		return d, nil
+	}
+	names := make([]string, 0, len(domains))
+	for k := range domains {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return nil, &UnknownDomainError{Name: name, Registered: names}
+}

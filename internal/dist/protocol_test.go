@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"advnet/internal/mathx"
+	"advnet/internal/rl"
+)
+
+// TestFrameRoundTrip: frames survive the wire byte-exactly for every
+// message type, including empty payloads.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, typ := range []MsgType{MsgHello, MsgSpec, MsgParams, MsgCollect, MsgBatch, MsgLaneError, MsgShutdown} {
+		for _, p := range payloads {
+			var buf bytes.Buffer
+			wrote, err := writeFrame(&buf, typ, p)
+			if err != nil {
+				t.Fatalf("%s: write: %v", typ, err)
+			}
+			if wrote != buf.Len() {
+				t.Fatalf("%s: writeFrame reported %d bytes, wrote %d", typ, wrote, buf.Len())
+			}
+			gotType, gotPayload, read, err := readFrame(&buf)
+			if err != nil {
+				t.Fatalf("%s: read: %v", typ, err)
+			}
+			if gotType != typ || !bytes.Equal(gotPayload, p) || read != wrote {
+				t.Fatalf("%s: round trip mismatch (type %s, %d/%d bytes)", typ, gotType, read, wrote)
+			}
+		}
+	}
+}
+
+// TestFrameCorruptionDetected: flipping any single byte region (magic,
+// payload, digest) yields a typed *FrameError, never silent garbage.
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, MsgBatch, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for _, idx := range []int{0, frameHeaderSize + 3, len(clean) - 1} {
+		mangled := append([]byte(nil), clean...)
+		mangled[idx] ^= 0x40
+		_, _, _, err := readFrame(bytes.NewReader(mangled))
+		var fe *FrameError
+		if !errors.As(err, &fe) {
+			t.Fatalf("corruption at byte %d: got %v, want *FrameError", idx, err)
+		}
+	}
+}
+
+// TestFrameOversizedRejected: a length prefix beyond MaxFramePayload is
+// refused before any allocation of that size.
+func TestFrameOversizedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, MsgParams, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5], raw[6], raw[7], raw[8] = 0xFF, 0xFF, 0xFF, 0xFF // length prefix
+	_, _, _, err := readFrame(bytes.NewReader(raw))
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("got %v, want *FrameError", err)
+	}
+}
+
+// TestParamsCodecExact: parameter groups round-trip bitwise, including
+// values JSON would be tempted to mangle (negative zero, denormals, NaN
+// payload bits are out of scope but ±Inf is not).
+func TestParamsCodecExact(t *testing.T) {
+	policy := [][]float64{{1.5, -0.0, math.Inf(1)}, {}, {5e-324, -2.000000000000001}}
+	value := [][]float64{{math.Pi}}
+	data := encodeParams(42, policy, value)
+	version, gotPolicy, gotValue, err := decodeParams(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 42 {
+		t.Fatalf("version %d, want 42", version)
+	}
+	check := func(got, want [][]float64, which string) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d groups, want %d", which, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("%s group %d: %d values, want %d", which, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("%s[%d][%d] = %x, want %x", which, i, j, math.Float64bits(got[i][j]), math.Float64bits(want[i][j]))
+				}
+			}
+		}
+	}
+	check(gotPolicy, policy, "policy")
+	check(gotValue, value, "value")
+}
+
+// TestBatchCodecRoundTrip: a populated batch survives encode/decode with
+// every field intact, and a truncated encoding is refused.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	b := &rl.RolloutBatch{
+		Lane: 2, Steps: 3, ObsDim: 2, ActDim: 1,
+		Obs:      []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+		Act:      []float64{1, 0, 2},
+		Rewards:  []float64{0.5, -0.25, 1},
+		Values:   []float64{0.1, 0.2, 0.3},
+		LogProbs: []float64{-1.1, -0.9, -2},
+		Advs:     []float64{0.01, -0.02, 0.03},
+		Rets:     []float64{1, 2, 3},
+		Dones:    []bool{false, true, false},
+		Episodes: 1, EpRewardSum: 1.25, RewardSum: 1.25, LastValue: 0.33,
+		End: rl.LaneState{
+			RNG:      mathx.NewRNG(9).State(),
+			PendLive: true,
+			PendObs:  []float64{0.7, -0.7},
+			EpReward: 2.5,
+			Env:      json.RawMessage(`{"k":1}`),
+		},
+	}
+	data, err := encodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(b)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("batch round trip mismatch:\nwant %s\ngot  %s", wantJSON, gotJSON)
+	}
+
+	var fe *FrameError
+	if _, err := decodeBatch(data[:len(data)-5]); !errors.As(err, &fe) {
+		t.Fatalf("truncated batch: got %v, want *FrameError", err)
+	}
+	// A batch whose arrays disagree with its step count must be refused at
+	// decode, before it can reach the trainer.
+	bad := *b
+	bad.Steps = 7
+	data, err = encodeBatch(&bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBatch(data); !errors.As(err, &fe) {
+		t.Fatalf("inconsistent batch: got %v, want *FrameError", err)
+	}
+}

@@ -11,10 +11,18 @@ import (
 
 // WriteFileAtomic writes data to path so that readers never observe a
 // partially-written file: the bytes go to a temporary file in the same
-// directory, which is fsync'd and then renamed over path. A crash mid-write
-// leaves the previous contents of path intact. The rename also means path is
-// replaced, never truncated in place, so a concurrent reader sees either the
-// old file or the new one.
+// directory, which is fsync'd and then renamed over path, and finally the
+// parent directory is fsync'd so the rename itself is on stable storage. A
+// crash mid-write leaves the previous contents of path intact. The rename
+// also means path is replaced, never truncated in place, so a concurrent
+// reader sees either the old file or the new one.
+//
+// Without the directory sync a crash (power loss) shortly after a successful
+// return could roll the directory entry back to the old contents — fatal for
+// cross-process checkpoint hand-off, where a coordinator may tell workers
+// about a checkpoint that then vanishes. If the directory sync itself fails,
+// the error is returned: the new contents are already visible to readers in
+// this boot, but their durability is not established.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -58,5 +66,27 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	// Crash-simulation point: the window between the rename and the parent
+	// directory fsync that makes it durable. A failure injected here models a
+	// directory-sync error after the file is already visible under its final
+	// name — the new contents must be what readers see.
+	if err := faults.Fire("fsx.write_atomic.dirsync", path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames inside it survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse fsync on directories; there is no portable
+	// fallback, so surface the error rather than silently skip durability.
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }

@@ -84,6 +84,47 @@ func TestWriteFileAtomicCrashBeforeRename(t *testing.T) {
 	}
 }
 
+// TestWriteFileAtomicCrashAtDirSync simulates a directory-sync failure in
+// the window after the rename published the file: the error must surface
+// (durability is not established), but the published contents — not the old
+// ones — are what readers see, and no temp file may be left behind.
+func TestWriteFileAtomicCrashAtDirSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := WriteFileAtomic(path, []byte("old checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	errCrash := errors.New("injected dirsync failure")
+	faults.Set("fsx.write_atomic.dirsync", faults.FailN(errCrash, nil))
+	err := WriteFileAtomic(path, []byte("new checkpoint"), 0o644)
+	faults.Clear("fsx.write_atomic.dirsync")
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("err = %v, want injected dirsync failure", err)
+	}
+
+	// Unlike a pre-rename crash, the rename already happened: the new
+	// contents are visible, just not durably recorded.
+	if got, err := os.ReadFile(path); err != nil || string(got) != "new checkpoint" {
+		t.Fatalf("post-rename contents = %q, %v, want new checkpoint", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ckpt.json" {
+		t.Fatalf("orphaned files after simulated dirsync crash: %v", entries)
+	}
+
+	// With the fault cleared the same write completes durably.
+	if err := WriteFileAtomic(path, []byte("final"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "final" {
+		t.Fatalf("retry wrote %q", got)
+	}
+}
+
 func TestWriteFileAtomicFailurePreservesOriginal(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "missing", "out.json")

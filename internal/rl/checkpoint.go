@@ -564,9 +564,17 @@ func (a *A2C) Iteration() int { return a.iter }
 // CheckpointDir manages a directory of rolling checkpoints: numbered files,
 // a manifest, keep-last-K retention, and fallback loading. All writes are
 // atomic, so a crash at any point leaves a loadable directory.
+//
+// Keep-last-K pruning assumes a single writer. Processes that share a
+// directory (the distributed coordinator, a restarted worker pointed at the
+// old flags) must claim it with Acquire first; Save refuses with a typed
+// *DirOwnedError when a different live process holds the claim. Directories
+// never claimed behave exactly as before.
 type CheckpointDir struct {
 	Dir  string
 	Keep int // checkpoints retained; <= 0 means DefaultKeep
+
+	owned bool // this CheckpointDir holds the directory's ownership claim
 }
 
 // DefaultKeep is the number of checkpoints retained when CheckpointDir.Keep
@@ -625,6 +633,9 @@ func (d *CheckpointDir) readManifest() checkpointManifest {
 // the previous manifest pointing at intact files.
 func (d *CheckpointDir) Save(iter int, write func(path string) error) error {
 	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return err
+	}
+	if err := d.checkOwnership(); err != nil {
 		return err
 	}
 	name := fileFor(iter)

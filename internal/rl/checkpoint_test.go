@@ -563,3 +563,98 @@ func TestDivergenceWatchdogNoCheckpoint(t *testing.T) {
 		t.Fatal("claims rollback with no checkpoint directory")
 	}
 }
+
+// TestCheckpointDirOwnershipGuard covers the shared-directory prune race:
+// once one CheckpointDir value has claimed the directory, Save through any
+// other — same process or another live one — fails with a typed
+// *DirOwnedError instead of pruning against a manifest someone else is
+// rewriting. Release returns the directory to the legacy unclaimed state.
+func TestCheckpointDirOwnershipGuard(t *testing.T) {
+	dir := t.TempDir()
+	writeN := func(d *CheckpointDir, iter int) error {
+		return d.Save(iter, func(path string) error {
+			return os.WriteFile(path, []byte("x"), 0o644)
+		})
+	}
+
+	owner := &CheckpointDir{Dir: dir, Keep: 2}
+	if err := owner.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Acquire(); err != nil { // idempotent for the holder
+		t.Fatal(err)
+	}
+	if err := writeN(owner, 1); err != nil {
+		t.Fatalf("owner save: %v", err)
+	}
+
+	// A second CheckpointDir value over the same directory: both Acquire
+	// and Save must refuse with the typed conflict, naming the owner pid.
+	intruder := &CheckpointDir{Dir: dir, Keep: 2}
+	var owned *DirOwnedError
+	if err := intruder.Acquire(); !errors.As(err, &owned) {
+		t.Fatalf("intruder Acquire err = %v, want *DirOwnedError", err)
+	}
+	if owned.PID != os.Getpid() {
+		t.Fatalf("conflict names pid %d, want %d", owned.PID, os.Getpid())
+	}
+	owned = nil
+	if err := writeN(intruder, 2); !errors.As(err, &owned) {
+		t.Fatalf("intruder Save err = %v, want *DirOwnedError", err)
+	}
+	// The guard runs before the checkpoint file is written, so the refused
+	// save left no trace in the manifest.
+	if _, iter, err := owner.Latest(); err != nil || iter != 1 {
+		t.Fatalf("Latest = %d, %v after refused save, want 1", iter, err)
+	}
+
+	// Release: the directory is unclaimed again, legacy saves work.
+	if err := owner.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeN(intruder, 2); err != nil {
+		t.Fatalf("save after release: %v", err)
+	}
+	if _, iter, err := intruder.Latest(); err != nil || iter != 2 {
+		t.Fatalf("Latest = %d, %v, want 2", iter, err)
+	}
+}
+
+// TestCheckpointDirStaleLockStolen: a lock left behind by a dead process (a
+// crash never calls Release) must not block training forever — Acquire
+// steals it, and an unclaimed-path Save clears it.
+func TestCheckpointDirStaleLockStolen(t *testing.T) {
+	const deadPID = 1 << 30 // far above any real pid_max
+	dir := t.TempDir()
+	lock := filepath.Join(dir, "owner.lock")
+	if err := os.WriteFile(lock, []byte(`{"pid":1073741824}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &CheckpointDir{Dir: dir, Keep: 2}
+	if err := d.Acquire(); err != nil {
+		t.Fatalf("Acquire over dead pid %d: %v", deadPID, err)
+	}
+	pid, ok := readLockPID(lock)
+	if !ok || pid != os.Getpid() {
+		t.Fatalf("lock after steal = %d, %v, want %d", pid, ok, os.Getpid())
+	}
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same stale lock, but through the unclaimed Save path: the dead claim
+	// is cleared and the save proceeds.
+	if err := os.WriteFile(lock, []byte(`{"pid":1073741824}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := &CheckpointDir{Dir: dir, Keep: 2}
+	if err := e.Save(1, func(path string) error {
+		return os.WriteFile(path, []byte("x"), 0o644)
+	}); err != nil {
+		t.Fatalf("Save over dead claim: %v", err)
+	}
+	if _, err := os.Stat(lock); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("dead claim not cleared: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package rl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// This file adds single-writer ownership to CheckpointDir. Keep-last-K
+// pruning is destructive: if two processes save into the same directory —
+// a distributed coordinator plus a crashed worker restarted with the old
+// flags, say — each prunes by its own manifest view and can delete the
+// other's newest checkpoint. Acquire claims the directory for one process
+// via an owner-pid lock file; Save refuses with a typed *DirOwnedError when
+// a different live process holds the claim. Directories without a lock file
+// keep the historical single-process behaviour, so existing training loops
+// are unaffected.
+
+// lockName is the ownership lock file within a checkpoint directory.
+const lockName = "owner.lock"
+
+// DirOwnedError reports that a checkpoint directory is owned by another
+// live process, so writing or pruning in it would race that owner's
+// retention bookkeeping.
+type DirOwnedError struct {
+	Dir string
+	PID int // the owning process
+}
+
+func (e *DirOwnedError) Error() string {
+	return fmt.Sprintf("rl: checkpoint directory %s is owned by live process %d", e.Dir, e.PID)
+}
+
+// dirLock is the owner-pid lock file contents.
+type dirLock struct {
+	PID int `json:"pid"`
+}
+
+// readLockPID parses the lock file at path; ok is false when the file is
+// missing or unparseable (treated as a stale claim).
+func readLockPID(path string) (pid int, ok bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	var l dirLock
+	if json.Unmarshal(data, &l) != nil || l.PID <= 0 {
+		return 0, false
+	}
+	return l.PID, true
+}
+
+// pidAlive reports whether a process with the given pid exists. EPERM means
+// the process exists but belongs to another user — still alive.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// Acquire claims exclusive write/prune ownership of the directory for this
+// process, creating it if needed. A claim held by a live process yields a
+// typed *DirOwnedError; a lock left behind by a dead owner (a crash skips
+// Release) is stolen. The steal is remove-then-recreate, so two processes
+// stealing the same dead lock at the same instant can both win the race —
+// acceptable for the crash-restart scenario this guards (pid liveness is
+// rechecked every Save), not a substitute for a cluster lock service.
+func (d *CheckpointDir) Acquire() error {
+	if d.owned {
+		return nil
+	}
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(d.Dir, lockName)
+	data, err := json.Marshal(dirLock{PID: os.Getpid()})
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			if _, werr := f.Write(data); werr != nil {
+				f.Close()
+				os.Remove(path)
+				return werr
+			}
+			if cerr := f.Close(); cerr != nil {
+				os.Remove(path)
+				return cerr
+			}
+			d.owned = true
+			return nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return err
+		}
+		pid, ok := readLockPID(path)
+		if ok && pidAlive(pid) {
+			return &DirOwnedError{Dir: d.Dir, PID: pid}
+		}
+		// Stale claim from a dead owner: steal it and retry the create.
+		os.Remove(path)
+	}
+	return fmt.Errorf("rl: could not claim checkpoint directory %s (lock recreated concurrently)", d.Dir)
+}
+
+// Release drops this process's ownership claim. Safe to call without a
+// prior Acquire.
+func (d *CheckpointDir) Release() error {
+	if !d.owned {
+		return nil
+	}
+	d.owned = false
+	err := os.Remove(filepath.Join(d.Dir, lockName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// checkOwnership gates Save: a directory claimed by a different live
+// process must not be written or pruned by us. Unclaimed directories (no
+// lock file) keep the legacy single-process semantics.
+func (d *CheckpointDir) checkOwnership() error {
+	if d.owned {
+		return nil
+	}
+	path := filepath.Join(d.Dir, lockName)
+	pid, ok := readLockPID(path)
+	if !ok {
+		return nil // unclaimed or unreadable claim: legacy behaviour
+	}
+	if pid == os.Getpid() {
+		// Claimed by this process through another CheckpointDir value
+		// (e.g. a coordinator's). Two writers in one process still race
+		// the manifest, so refuse just the same.
+		return &DirOwnedError{Dir: d.Dir, PID: pid}
+	}
+	if pidAlive(pid) {
+		return &DirOwnedError{Dir: d.Dir, PID: pid}
+	}
+	// Dead owner: its claim no longer protects anything. Clear it so the
+	// directory returns to the unclaimed state rather than permanently
+	// blocking saves.
+	os.Remove(path)
+	return nil
+}

@@ -1,0 +1,472 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"advnet/internal/mathx"
+	"advnet/internal/nn"
+)
+
+// This file is the trainer-side substrate for multi-process distributed
+// training (internal/dist): the in-process VecRunner contract re-expressed
+// so that rollout collection can run in other OS processes.
+//
+// The determinism unit is the *lane*, not the process. A distributed run
+// with W lanes is defined to produce bitwise-identical nets to an
+// in-process VecRunner with W workers; which process happens to execute a
+// lane's rollout is irrelevant, because a lane is a pure function
+//
+//	(LaneState, parameters, steps) -> (RolloutBatch, next LaneState)
+//
+// with every piece of stochastic state (collector RNG, pending episode,
+// environment state) shipped in and out explicitly. That statelessness is
+// what makes worker-process death recoverable by simply re-sending the
+// lane's request to a surviving process.
+//
+// Lane 0 plays VecRunner's worker-0 role: its collector RNG *is* the
+// trainer RNG. The coordinator sends the trainer's RNG state out with lane
+// 0's request and adopts the post-collect state back before the update, so
+// the trainer RNG advances exactly as if collection had run in-process.
+
+// LaneState is the complete state of one rollout lane at an iteration
+// boundary: the collector's RNG stream, its pending-episode state, and the
+// serialized environment. It is exactly the per-worker state a VecRunner
+// checkpoint carries, which is why distributed checkpoints are
+// byte-interchangeable with "ppo-vec" ones.
+type LaneState struct {
+	RNG      mathx.RNGState  `json:"rng"`
+	PendLive bool            `json:"pend_live"`
+	PendObs  []float64       `json:"pend_obs,omitempty"`
+	EpReward float64         `json:"ep_reward"`
+	Env      json.RawMessage `json:"env"`
+}
+
+// RolloutBatch is one lane's collected rollout with GAE already applied
+// (per-lane, with the lane's own bootstrap value — the same split VecRunner
+// uses so advantages never leak across lanes), plus the collection totals
+// and the lane's post-collect state.
+type RolloutBatch struct {
+	Lane  int
+	Steps int
+
+	// Row-major obs/action matrices and per-step scalars, flattened for a
+	// compact exact binary wire encoding (math.Float64bits round-trips).
+	ObsDim   int
+	ActDim   int
+	Obs      []float64 // Steps×ObsDim
+	Act      []float64 // Steps×ActDim
+	Rewards  []float64
+	Values   []float64
+	LogProbs []float64
+	Advs     []float64
+	Rets     []float64
+	Dones    []bool
+
+	// Collection totals (collectStats) and the GAE bootstrap value.
+	Episodes    int
+	EpRewardSum float64
+	RewardSum   float64
+	LastValue   float64
+
+	// End is the lane's state after this collect: what the next iteration's
+	// request must carry, and what checkpoints persist.
+	End LaneState
+}
+
+// Lane is the worker-process side of one rollout lane: a policy/value clone,
+// an environment, and a collector whose entire state is overwritten from a
+// LaneState before every collect. The environment must implement
+// EnvCheckpointer — lane hand-off is state hand-off.
+type Lane struct {
+	col    collector
+	env    Env
+	buf    rolloutBuffer
+	gamma  float64
+	lambda float64
+}
+
+// NewLane builds a lane around a policy/value pair and an environment.
+// gamma/lambda must match the trainer's PPOConfig (they parameterize the
+// lane-side GAE).
+func NewLane(policy Policy, value *nn.MLP, env Env, gamma, lambda float64) (*Lane, error) {
+	if env == nil {
+		return nil, fmt.Errorf("rl: NewLane with nil env")
+	}
+	if _, ok := env.(EnvCheckpointer); !ok {
+		return nil, fmt.Errorf("rl: lane env type %T does not implement EnvCheckpointer (required for lane hand-off)", env)
+	}
+	l := &Lane{env: env, gamma: gamma, lambda: lambda}
+	// The RNG seed is irrelevant: Restore overwrites it before every collect.
+	l.col = newCollector(policy, value, mathx.NewRNG(1), &l.buf)
+	return l, nil
+}
+
+// copyRawParams loads raw parameter groups into dst with shape validation,
+// the raw-vector counterpart of CopyParams.
+func copyRawParams(dst, src [][]float64, which string) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("rl: lane %s params have %d groups, want %d", which, len(src), len(dst))
+	}
+	for i := range dst {
+		if len(dst[i]) != len(src[i]) {
+			return fmt.Errorf("rl: lane %s params group %d has %d values, want %d", which, i, len(src[i]), len(dst[i]))
+		}
+		copy(dst[i], src[i])
+	}
+	return nil
+}
+
+// SetParams overwrites the lane's policy and value parameters with the
+// trainer's broadcast, validating shapes.
+func (l *Lane) SetParams(policy, value [][]float64) error {
+	if err := copyRawParams(l.col.policy.Params(), policy, "policy"); err != nil {
+		return err
+	}
+	return copyRawParams(l.col.value.Params(), value, "value")
+}
+
+// Restore loads a lane state: environment first (validation happens before
+// mutation in EnvCheckpointer implementations), then the collector RNG and
+// pending episode, bound to this lane's env exactly as a checkpoint restore
+// binds it.
+func (l *Lane) Restore(st LaneState) error {
+	if len(st.Env) == 0 {
+		return fmt.Errorf("rl: lane restore without env state")
+	}
+	if err := l.env.(EnvCheckpointer).SetEnvState(st.Env); err != nil {
+		return fmt.Errorf("rl: lane restore env: %w", err)
+	}
+	l.col.rng.SetState(st.RNG)
+	l.col.setState(collectorState{PendLive: st.PendLive, PendObs: st.PendObs, EpReward: st.EpReward})
+	l.col.pendEnv = l.env
+	l.buf.reset()
+	return nil
+}
+
+// State captures the lane's current state (collector + env), the inverse of
+// Restore.
+func (l *Lane) State() (LaneState, error) {
+	cs, err := collectorStateOf(&l.col, l.env)
+	if err != nil {
+		return LaneState{}, err
+	}
+	return LaneState{
+		RNG:      l.col.rng.State(),
+		PendLive: cs.PendLive,
+		PendObs:  cs.PendObs,
+		EpReward: cs.EpReward,
+		Env:      cs.Env,
+	}, nil
+}
+
+// Collect runs the lane's rollout share with panic containment, computes
+// GAE over the lane's own buffer, and returns the batch together with the
+// lane's post-collect state. A panic anywhere inside (environment step,
+// policy forward pass) is recovered into a *WorkerPanicError naming the
+// lane — the worker process survives and reports the failure instead of
+// dying.
+func (l *Lane) Collect(lane, steps int) (b *RolloutBatch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b = nil
+			err = &WorkerPanicError{Worker: lane, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	cs := l.col.collect(l.env, steps)
+	lastValue := l.col.bootstrap()
+	l.buf.computeGAE(l.gamma, l.lambda, lastValue)
+	b = &RolloutBatch{
+		Lane:        lane,
+		Episodes:    cs.episodes,
+		EpRewardSum: cs.epRewardSum,
+		RewardSum:   cs.rewardSum,
+		LastValue:   lastValue,
+	}
+	exportBuffer(&l.buf, b)
+	end, serr := l.State()
+	if serr != nil {
+		return nil, serr
+	}
+	b.End = end
+	l.buf.reset()
+	return b, nil
+}
+
+// exportBuffer flattens a lane buffer into the batch's row-major arrays.
+func exportBuffer(buf *rolloutBuffer, b *RolloutBatch) {
+	n := buf.len()
+	b.Steps = n
+	if n == 0 {
+		return
+	}
+	b.ObsDim = len(buf.steps[0].obs)
+	b.ActDim = len(buf.steps[0].action)
+	b.Obs = make([]float64, n*b.ObsDim)
+	b.Act = make([]float64, n*b.ActDim)
+	b.Rewards = make([]float64, n)
+	b.Values = make([]float64, n)
+	b.LogProbs = make([]float64, n)
+	b.Advs = make([]float64, n)
+	b.Rets = make([]float64, n)
+	b.Dones = make([]bool, n)
+	for i := range buf.steps {
+		s := &buf.steps[i]
+		copy(b.Obs[i*b.ObsDim:(i+1)*b.ObsDim], s.obs)
+		copy(b.Act[i*b.ActDim:(i+1)*b.ActDim], s.action)
+		b.Rewards[i] = s.reward
+		b.Values[i] = s.value
+		b.LogProbs[i] = s.logp
+		b.Advs[i] = s.advantage
+		b.Rets[i] = s.ret
+		b.Dones[i] = s.done
+	}
+}
+
+// Validate checks the batch's internal consistency (array lengths against
+// Steps and the row widths) so a corrupt or truncated wire decode cannot
+// feed partial rows into the update.
+func (b *RolloutBatch) Validate() error {
+	if b.Steps < 0 {
+		return fmt.Errorf("rl: batch lane %d has %d steps", b.Lane, b.Steps)
+	}
+	if b.Steps == 0 {
+		return nil
+	}
+	if b.ObsDim <= 0 || b.ActDim <= 0 {
+		return fmt.Errorf("rl: batch lane %d has dims %dx%d", b.Lane, b.ObsDim, b.ActDim)
+	}
+	if len(b.Obs) != b.Steps*b.ObsDim || len(b.Act) != b.Steps*b.ActDim {
+		return fmt.Errorf("rl: batch lane %d matrix sizes %d/%d do not match %d steps", b.Lane, len(b.Obs), len(b.Act), b.Steps)
+	}
+	for name, l := range map[string]int{
+		"rewards": len(b.Rewards), "values": len(b.Values), "logprobs": len(b.LogProbs),
+		"advs": len(b.Advs), "rets": len(b.Rets), "dones": len(b.Dones),
+	} {
+		if l != b.Steps {
+			return fmt.Errorf("rl: batch lane %d %s has %d entries, want %d", b.Lane, name, l, b.Steps)
+		}
+	}
+	return nil
+}
+
+// importBatch appends a batch's transitions (with their precomputed
+// advantages and returns) to the trainer buffer, exactly as VecRunner's
+// pushFrom merges worker buffers.
+func importBatch(buf *rolloutBuffer, b *RolloutBatch) {
+	if b.Steps == 0 {
+		return
+	}
+	buf.ensureCap(buf.len()+b.Steps, b.ObsDim, b.ActDim)
+	for i := 0; i < b.Steps; i++ {
+		s := transition{
+			obs:       arenaSlot(buf.obsArena, &buf.obsUsed, b.Obs[i*b.ObsDim:(i+1)*b.ObsDim]),
+			action:    arenaSlot(buf.actArena, &buf.actUsed, b.Act[i*b.ActDim:(i+1)*b.ActDim]),
+			reward:    b.Rewards[i],
+			done:      b.Dones[i],
+			logp:      b.LogProbs[i],
+			value:     b.Values[i],
+			advantage: b.Advs[i],
+			ret:       b.Rets[i],
+		}
+		buf.steps = append(buf.steps, s)
+	}
+}
+
+// RNGState exposes the trainer RNG for the distributed coordinator: lane
+// 0's collect request carries it out, and ApplyRemoteRollouts adopts the
+// post-collect state back.
+func (p *PPO) RNGState() mathx.RNGState { return p.rng.State() }
+
+// SetRNGState overwrites the trainer RNG (see RNGState).
+func (p *PPO) SetRNGState(st mathx.RNGState) { p.rng.SetState(st) }
+
+func (p *PPO) laneSteps(lanes int) []int {
+	steps := make([]int, lanes)
+	base := p.cfg.RolloutSteps / lanes
+	rem := p.cfg.RolloutSteps % lanes
+	for i := range steps {
+		steps[i] = base
+		if i < rem {
+			steps[i]++
+		}
+	}
+	return steps
+}
+
+// LaneSteps returns each lane's rollout share per iteration — RolloutSteps
+// divided across lanes with earlier lanes taking the remainder, identical
+// to VecRunner's split.
+func (p *PPO) LaneSteps(lanes int) ([]int, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("rl: LaneSteps lanes=%d", lanes)
+	}
+	return p.laneSteps(lanes), nil
+}
+
+// NewLaneStates builds the canonical initial lane states for a distributed
+// run, consuming the trainer RNG exactly as NewVecRunner does (one Split
+// per lane beyond the first, in lane order) so that a distributed run and
+// an in-process VecRunner built from the same trainer state are bitwise
+// interchangeable. The factory's environments are used only to capture
+// initial state — worker processes rebuild their own from the domain
+// configuration.
+func (p *PPO) NewLaneStates(factory EnvFactory, lanes int) ([]LaneState, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("rl: NewLaneStates lanes=%d", lanes)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("rl: NewLaneStates nil factory")
+	}
+	states := make([]LaneState, lanes)
+	for i := 0; i < lanes; i++ {
+		env := factory(i)
+		if env == nil {
+			return nil, fmt.Errorf("rl: EnvFactory returned nil env for lane %d", i)
+		}
+		ec, ok := env.(EnvCheckpointer)
+		if !ok {
+			return nil, fmt.Errorf("rl: lane %d env type %T does not implement EnvCheckpointer (required for distributed training)", i, env)
+		}
+		data, err := ec.EnvState()
+		if err != nil {
+			return nil, fmt.Errorf("rl: lane %d initial env state: %w", i, err)
+		}
+		states[i].Env = data
+		if i > 0 {
+			// NewVecRunner: ClonePolicy (no RNG), then one Split per
+			// worker in order.
+			states[i].RNG = p.rng.Split().State()
+		}
+	}
+	// Lane 0 shares the trainer RNG; its state is re-sent fresh every
+	// iteration, but seed it with the post-split trainer state so a
+	// zero-iteration run still checkpoints coherently.
+	states[0].RNG = p.rng.State()
+	return states, nil
+}
+
+// ApplyRemoteRollouts performs the trainer half of a distributed iteration:
+// lane batches merged in lane order, lane 0's post-collect RNG adopted as
+// the trainer RNG (the distributed counterpart of VecRunner's worker 0
+// sharing p.rng), advantage normalization over the merged buffer, and the
+// PPO update. batches must hold exactly one batch per lane, in lane order.
+// On a validation error the buffer is discarded and the iteration counter
+// is not advanced.
+func (p *PPO) ApplyRemoteRollouts(batches []*RolloutBatch) (IterStats, error) {
+	stats := IterStats{Iteration: p.iter}
+	if len(batches) == 0 {
+		return stats, fmt.Errorf("rl: ApplyRemoteRollouts with no batches")
+	}
+	p.buf.reset()
+	var cs collectStats
+	for i, b := range batches {
+		if b == nil {
+			p.buf.reset()
+			return stats, fmt.Errorf("rl: ApplyRemoteRollouts missing batch for lane %d", i)
+		}
+		if b.Lane != i {
+			p.buf.reset()
+			return stats, fmt.Errorf("rl: ApplyRemoteRollouts batch %d is for lane %d", i, b.Lane)
+		}
+		if err := b.Validate(); err != nil {
+			p.buf.reset()
+			return stats, err
+		}
+		importBatch(&p.buf, b)
+		cs.steps += b.Steps
+		cs.episodes += b.Episodes
+		cs.epRewardSum += b.EpRewardSum
+		cs.rewardSum += b.RewardSum
+	}
+	p.iter++
+	p.rng.SetState(batches[0].End.RNG)
+
+	var t0 time.Time
+	if p.met != nil {
+		t0 = time.Now()
+	}
+	mergeCollectStats(&stats, cs, p.buf.len())
+	p.buf.normalizeAdvantages()
+	p.update(&stats)
+	p.buf.reset()
+	if p.met != nil {
+		p.met.Update.Observe(time.Since(t0))
+		p.met.Iterations.Inc()
+	}
+	return stats, nil
+}
+
+// SaveDistCheckpoint writes a distributed-training checkpoint: the trainer
+// state plus every lane's state, in the "ppo-vec" format — a distributed
+// checkpoint is byte-interchangeable with one saved by an in-process
+// VecRunner at the same iteration boundary (lane 0's RNG is the trainer
+// RNG in snap.RNG; lanes >= 1 carry theirs per worker entry).
+func (p *PPO) SaveDistCheckpoint(path string, lanes []LaneState) error {
+	if len(lanes) == 0 {
+		return fmt.Errorf("rl: SaveDistCheckpoint with no lanes")
+	}
+	snap, err := p.snapshot(nil)
+	if err != nil {
+		return err
+	}
+	snap.Col = collectorState{} // superseded by Workers[0], as in VecRunner
+	for i, ls := range lanes {
+		ws := workerState{Col: collectorState{
+			PendLive: ls.PendLive,
+			PendObs:  ls.PendObs,
+			EpReward: ls.EpReward,
+			Env:      ls.Env,
+		}}
+		if i > 0 {
+			st := ls.RNG
+			ws.RNG = &st
+		}
+		snap.Workers = append(snap.Workers, ws)
+	}
+	return writeCheckpoint(path, "ppo-vec", snap)
+}
+
+// LoadDistCheckpoint restores a "ppo-vec" checkpoint (distributed or
+// VecRunner-written — the formats are identical) into the trainer and
+// returns the per-lane states to hand back to worker processes. The trainer
+// must have been constructed with the same configuration and architectures;
+// everything stochastic is overwritten from the checkpoint.
+func (p *PPO) LoadDistCheckpoint(path string) ([]LaneState, error) {
+	payload, err := readCheckpoint(path, "ppo-vec")
+	if err != nil {
+		return nil, err
+	}
+	var snap ppoSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("rl: checkpoint %s: %w", path, err)
+	}
+	if len(snap.Workers) == 0 {
+		return nil, fmt.Errorf("rl: checkpoint %s carries no lane states", path)
+	}
+	trainerRNG := snap.RNG
+	snap.Col = collectorState{}
+	if err := p.restore(&snap, nil); err != nil {
+		return nil, err
+	}
+	lanes := make([]LaneState, len(snap.Workers))
+	for i, ws := range snap.Workers {
+		lanes[i] = LaneState{
+			PendLive: ws.Col.PendLive,
+			PendObs:  ws.Col.PendObs,
+			EpReward: ws.Col.EpReward,
+			Env:      ws.Col.Env,
+		}
+		if i == 0 {
+			lanes[i].RNG = trainerRNG
+		} else {
+			if ws.RNG == nil {
+				return nil, fmt.Errorf("rl: checkpoint %s lane %d missing RNG state", path, i)
+			}
+			lanes[i].RNG = *ws.RNG
+		}
+	}
+	return lanes, nil
+}

@@ -235,7 +235,10 @@ func TestShardCursorFullEpochCoverage(t *testing.T) {
 // test traces in place.
 func TestDatasetSplitNoAliasing(t *testing.T) {
 	d := GenerateFCCLikeDataset(mathx.NewRNG(1), DefaultFCCLike(), 10, "fcc")
-	train, test := d.Split(0.5)
+	train, test, err := d.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(train.Traces) != 5 || len(test.Traces) != 5 {
 		t.Fatalf("split sizes %d/%d, want 5/5", len(train.Traces), len(test.Traces))
 	}

@@ -127,12 +127,33 @@ type Dataset struct {
 	Traces []*Trace `json:"traces"`
 }
 
+// SplitError reports a Split whose proper fraction produced an empty train
+// or test side: the dataset is too small for floor(frac*len) to leave traces
+// on both sides, so training (or holdout evaluation) would silently run on
+// nothing.
+type SplitError struct {
+	Frac   float64 // requested train fraction
+	Traces int     // dataset size
+	Train  int     // floor(Frac*Traces), the train side that would result
+}
+
+func (e *SplitError) Error() string {
+	return fmt.Sprintf("trace: Split(%v) of %d traces leaves %d train / %d test traces; dataset too small for this fraction",
+		e.Frac, e.Traces, e.Train, e.Traces-e.Train)
+}
+
 // Split partitions the dataset into train and test subsets, putting the first
 // floor(frac*len) traces in train. Callers should shuffle first if ordering
 // matters. The returned trace slices are copies: growing the train set (the
 // §2.3 merge path appends adversarial traces) must never write through a
 // shared backing array into the held-out test set.
-func (d *Dataset) Split(frac float64) (train, test *Dataset) {
+//
+// A proper fraction (0 < frac < 1) asks for a non-degenerate partition; if
+// flooring leaves either side empty (e.g. Split(0.8) of a 1-trace dataset),
+// Split returns a typed *SplitError instead of silently handing back an empty
+// train set. frac <= 0 and frac >= 1 keep the historical clamp semantics —
+// an explicitly everything-on-one-side split is a valid request.
+func (d *Dataset) Split(frac float64) (train, test *Dataset, err error) {
 	n := int(frac * float64(len(d.Traces)))
 	if n < 0 {
 		n = 0
@@ -140,9 +161,12 @@ func (d *Dataset) Split(frac float64) (train, test *Dataset) {
 	if n > len(d.Traces) {
 		n = len(d.Traces)
 	}
+	if frac > 0 && frac < 1 && (n == 0 || n == len(d.Traces)) {
+		return nil, nil, &SplitError{Frac: frac, Traces: len(d.Traces), Train: n}
+	}
 	train = &Dataset{Name: d.Name + "-train", Traces: append([]*Trace(nil), d.Traces[:n]...)}
 	test = &Dataset{Name: d.Name + "-test", Traces: append([]*Trace(nil), d.Traces[n:]...)}
-	return train, test
+	return train, test, nil
 }
 
 // Shuffle reorders the traces pseudo-randomly.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"strconv"
@@ -110,7 +111,10 @@ func TestDatasetSplitMerge(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		d.Traces = append(d.Traces, mkTrace())
 	}
-	train, test := d.Split(0.8)
+	train, test, err := d.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(train.Traces) != 8 || len(test.Traces) != 2 {
 		t.Fatalf("split sizes %d/%d", len(train.Traces), len(test.Traces))
 	}
@@ -118,14 +122,60 @@ func TestDatasetSplitMerge(t *testing.T) {
 	if len(m.Traces) != 10 {
 		t.Fatalf("merge size %d", len(m.Traces))
 	}
-	// Degenerate fractions must not panic.
-	a, b := d.Split(-1)
-	if len(a.Traces) != 0 || len(b.Traces) != 10 {
-		t.Error("Split(-1)")
+	// Degenerate fractions keep the clamp semantics: everything on one side
+	// is a valid explicit request, not an error.
+	a, b, err := d.Split(-1)
+	if err != nil || len(a.Traces) != 0 || len(b.Traces) != 10 {
+		t.Errorf("Split(-1): %d/%d, %v", len(a.Traces), len(b.Traces), err)
 	}
-	a, b = d.Split(2)
-	if len(a.Traces) != 10 || len(b.Traces) != 0 {
-		t.Error("Split(2)")
+	a, b, err = d.Split(2)
+	if err != nil || len(a.Traces) != 10 || len(b.Traces) != 0 {
+		t.Errorf("Split(2): %d/%d, %v", len(a.Traces), len(b.Traces), err)
+	}
+}
+
+// TestDatasetSplitTinyDatasetTypedError is the regression test for the silent
+// empty-train-set bug: Split(0.8) of a 1-trace dataset floored to an empty
+// train side and returned it without complaint, so downstream training ran on
+// zero traces. A proper fraction that cannot leave traces on both sides must
+// now fail with a typed *SplitError.
+func TestDatasetSplitTinyDatasetTypedError(t *testing.T) {
+	cases := []struct {
+		traces int
+		frac   float64
+	}{
+		{1, 0.8}, // floor(0.8·1) = 0: the original silent failure
+		{1, 0.5},
+		{4, 0.2},  // floor(0.2·4) = 0
+		{0, 0.8},  // empty dataset: both sides empty
+	}
+	for _, c := range cases {
+		d := &Dataset{Name: "tiny"}
+		for i := 0; i < c.traces; i++ {
+			d.Traces = append(d.Traces, mkTrace())
+		}
+		_, _, err := d.Split(c.frac)
+		var serr *SplitError
+		if !errors.As(err, &serr) {
+			t.Fatalf("Split(%v) of %d traces: err = %v, want *SplitError", c.frac, c.traces, err)
+		}
+		if serr.Frac != c.frac || serr.Traces != c.traces || serr.Train != 0 {
+			t.Fatalf("SplitError = %+v, want frac %v traces %d train 0", serr, c.frac, c.traces)
+		}
+	}
+
+	// The smallest dataset a 0.8 split can partition: floor semantics are
+	// unchanged, so golden digests over larger datasets hold.
+	d := &Dataset{Name: "small"}
+	for i := 0; i < 2; i++ {
+		d.Traces = append(d.Traces, mkTrace())
+	}
+	train, test, err := d.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train.Traces) != 1 || len(test.Traces) != 1 {
+		t.Fatalf("Split(0.8) of 2 traces: %d/%d, want 1/1", len(train.Traces), len(test.Traces))
 	}
 }
 
